@@ -1,0 +1,172 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own tables/figures, these isolate three mechanisms:
+
+1. **PERSIST phase cost vs batch size** — the strong variant pays a fixed
+   per-block round; bigger blocks dilute it (why the paper's 13% gap is
+   small at batch 512 and would grow with tiny blocks).
+2. **Group commit depth** — Dura-SMaRt's claim that syncing many batches
+   costs like syncing one: throughput vs the group-commit limit.
+3. **Checkpoint period z** — smaller z speeds up joins (Figure 8) but
+   costs steady-state throughput; this quantifies the trade.
+"""
+
+import pytest
+
+from repro.bench.harness import run_dura_smart, run_smartchain
+from repro.config import (
+    PersistenceVariant,
+    SMRConfig,
+    SmartChainConfig,
+    StorageMode,
+    VerificationMode,
+)
+
+from conftest import CLIENTS, DURATION, SEED
+
+TABLE_TITLE = "Ablations: persist phase, group commit, checkpoint period"
+
+_persist: dict[int, tuple[float, float]] = {}
+
+
+@pytest.mark.parametrize("batch_size", [64, 512])
+def test_ablation_persist_cost_vs_batch_size(benchmark, table, batch_size):
+    """Strong/weak gap as a function of block size."""
+
+    def run_pair():
+        results = {}
+        for variant in (PersistenceVariant.WEAK, PersistenceVariant.STRONG):
+            from repro.bench import harness
+            from repro.sim.engine import Simulator
+            # run_smartchain with a custom batch size via config override
+            result = _run_smartchain_with_batch(variant, batch_size)
+            results[variant] = result.throughput
+        return results
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    weak = results[PersistenceVariant.WEAK]
+    strong = results[PersistenceVariant.STRONG]
+    _persist[batch_size] = (weak, strong)
+    gap = 1 - strong / weak if weak else 0
+    table.add(f"persist-phase gap at batch {batch_size} "
+              f"(weak {weak:.0f} / strong {strong:.0f})", gap * 100, 0)
+    assert strong <= weak * 1.05
+
+
+def _run_smartchain_with_batch(variant, batch_size):
+    from repro.apps.smartcoin import SmartCoin
+    from repro.bench.harness import _measure
+    from repro.config import CostModel
+    from repro.core.node import bootstrap
+    from repro.sim.engine import Simulator
+    from repro.workloads.coingen import all_minter_addresses, deploy_clients
+
+    sim = Simulator(SEED)
+    costs = CostModel()
+    config = SmartChainConfig(
+        smr=SMRConfig(n=4, f=1, verification=VerificationMode.PARALLEL,
+                      batch_size=batch_size),
+        variant=variant,
+        storage=StorageMode.SYNC,
+        checkpoint_period=100_000,
+    )
+    minters = all_minter_addresses(CLIENTS)
+    consortium = bootstrap(sim, (0, 1, 2, 3),
+                           lambda: SmartCoin(minters=minters), config,
+                           costs=costs)
+    holder = [consortium.genesis.view]
+    stations, _ = deploy_clients(sim, consortium.network, lambda: holder[0],
+                                 CLIENTS)
+    for station in stations:
+        station.start_all(stagger=0.002)
+    sim.run(until=DURATION)
+    return _measure(stations, DURATION,
+                    f"batch={batch_size} {variant.value}")
+
+
+def test_shape_small_blocks_amplify_persist_cost(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    gap_small = 1 - _persist[64][1] / _persist[64][0]
+    gap_large = 1 - _persist[512][1] / _persist[512][0]
+    assert gap_small >= gap_large * 0.8, (
+        f"expected the fixed PERSIST round to matter more for small blocks: "
+        f"{gap_small:.3f} vs {gap_large:.3f}")
+
+
+_group: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("limit", [1, 10])
+def test_ablation_group_commit_depth(benchmark, table, limit):
+    """Dura-SMaRt with group commit capped at 1 batch loses the dilution."""
+
+    def run():
+        from repro.apps.smartcoin import SmartCoin
+        from repro.bench.harness import _measure
+        from repro.config import CostModel
+        from repro.crypto.keys import KeyRegistry
+        from repro.net.network import Network
+        from repro.sim.engine import Simulator
+        from repro.smr.durability import DuraSmartDelivery
+        from repro.smr.keydir import KeyDirectory
+        from repro.smr.replica import ModSmartReplica
+        from repro.smr.views import View
+        from repro.workloads.coingen import all_minter_addresses, deploy_clients
+
+        sim = Simulator(SEED)
+        costs = CostModel()
+        # A slower disk (10 ms barrier) makes the group-commit effect plain.
+        costs.disk.sync_latency = 0.010
+        network = Network(sim, costs.network)
+        registry = KeyRegistry(SEED)
+        keydir = KeyDirectory()
+        view = View(0, (0, 1, 2, 3))
+        config = SMRConfig(n=4, f=1, group_commit_limit=limit,
+                           max_pending_decisions=10, batch_size=64)
+        minters = all_minter_addresses(CLIENTS)
+        for replica_id in view.members:
+            ModSmartReplica(sim, network, registry, keydir, replica_id, view,
+                            config, costs,
+                            DuraSmartDelivery(SmartCoin(minters=minters)))
+        stations, _ = deploy_clients(sim, network, lambda: view, CLIENTS)
+        for station in stations:
+            station.start_all(stagger=0.002)
+        sim.run(until=DURATION)
+        return _measure(stations, DURATION, f"group-limit={limit}")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _group[limit] = result.throughput
+    table.add(f"Dura-SMaRt group-commit limit {limit} (10 ms disk barrier)",
+              result.throughput, 0)
+    assert result.throughput > 0
+
+
+def test_shape_group_commit_dilutes_sync_cost(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _group[10] > 1.3 * _group[1], (
+        f"group commit should beat per-batch syncs: {_group}")
+
+
+_ckpt: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("period", [50, 1000])
+def test_ablation_checkpoint_period_throughput(benchmark, table, period):
+    """Frequent checkpoints cost steady-state throughput (the dips of
+    Figure 7), the price paid for the fast joins of Figure 8."""
+    result = benchmark.pedantic(
+        lambda: run_smartchain(PersistenceVariant.STRONG, StorageMode.SYNC,
+                               VerificationMode.PARALLEL, clients=CLIENTS,
+                               duration=DURATION, seed=SEED,
+                               checkpoint_period=period),
+        rounds=1, iterations=1)
+    _ckpt[period] = result.throughput
+    table.add(f"strong variant, checkpoint period z={period}",
+              result.throughput, 0)
+    assert result.throughput > 0
+
+
+def test_shape_frequent_checkpoints_cost_throughput(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ckpt[1000] >= _ckpt[50], (
+        f"z=1000 should outperform z=50: {_ckpt}")

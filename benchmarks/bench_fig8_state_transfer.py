@@ -1,0 +1,147 @@
+"""Figure 8 — time demanded to update (join) a replica vs blockchain length.
+
+Paper (Section VI-B c): the time for a joining replica to obtain the state
+grows linearly with the chain length when there are no checkpoints (~45 s at
+10k blocks), while with a checkpoint period z the joiner only replays the
+blocks after the last checkpoint — a sawtooth bounded by z (curves for
+z ∈ {500, 1000, 2000}).
+
+Method: the serving replicas' blockchain layers are populated by feeding
+decisions straight into the delivery layer (consensus is not the subject
+here); the fourth replica then cold-starts and runs the real state-transfer
+protocol, and the simulated completion time is the y-value.  Blocks carry
+16 transactions with per-transaction replay cost scaled 32× so each block
+replays like the paper's 512-transaction blocks.
+"""
+
+import pytest
+
+from repro.apps.kvstore import KVStore
+from repro.config import (
+    CostModel,
+    PersistenceVariant,
+    SMRConfig,
+    SmartChainConfig,
+    StorageMode,
+    VerificationMode,
+)
+from repro.core.blockchain_layer import SmartChainDelivery
+from repro.core.node import bootstrap
+from repro.crypto.hashing import hash_obj
+from repro.sim.engine import Simulator
+from repro.smr.requests import ClientRequest, Decision
+
+from conftest import FULL, SEED
+
+TABLE_TITLE = "Figure 8: time to update a replica (seconds)"
+
+TX_PER_BLOCK = 16
+REPLAY_SCALE = 32  # 16 txs stand in for 512: scale per-tx replay cost
+MAX_BLOCKS = 10_000 if FULL else 4_000
+POINTS = 5
+#: All live replicas hold the chain (the f+1 target rule discounts the
+#: highest f answers, so every prober-visible replica must be fed).
+FED_REPLICAS = (0, 1, 2)
+PERIODS = {"no-ckpt": 0, "500-ckpt": 500, "1000-ckpt": 1000,
+           "2000-ckpt": 2000}
+
+_curves: dict[str, list[tuple[int, float]]] = {}
+
+
+def _feed_blocks(consortium, start: int, count: int) -> None:
+    """Drive decisions ``start..start+count`` straight into the delivery
+    layers of the serving replicas (consensus is not under test here)."""
+    sim = consortium.sim
+    for index in range(start, start + count):
+        batch = [
+            ClientRequest(client_id=50_000 + tx, req_id=index + 1,
+                          op=("put", f"k{index}-{tx}", tx), size=310,
+                          signed=False, reply_size=64)
+            for tx in range(TX_PER_BLOCK)
+        ]
+        decision = Decision(cid=index, batch=batch, proof={},
+                            batch_hash=hash_obj(("fig8", index)),
+                            regency=0, decided_at=sim.now)
+        for replica_id in FED_REPLICAS:
+            node = consortium.node(replica_id)
+            node.replica.last_decided = index
+            node.delivery.on_decide(decision)
+    sim.run()
+
+
+def measure_curve(period: int) -> list:
+    """One sweep: grow the chain and measure the victim's update time at
+    POINTS intermediate lengths (the victim cold-starts each time)."""
+    sim = Simulator(SEED)
+    costs = CostModel()
+    costs = costs.copy(replay_time_per_tx=costs.replay_time_per_tx
+                       * REPLAY_SCALE)
+    config = SmartChainConfig(
+        smr=SMRConfig(n=4, f=1, verification=VerificationMode.NONE),
+        variant=PersistenceVariant.WEAK,    # certificates are irrelevant here
+        storage=StorageMode.SYNC,
+        checkpoint_period=period,
+    )
+    consortium = bootstrap(sim, (0, 1, 2, 3), KVStore, config, costs=costs)
+    victim = consortium.node(3)
+    victim.crash()
+    step = MAX_BLOCKS // POINTS
+    curve = []
+    height = 0
+    for point in range(1, POINTS + 1):
+        _feed_blocks(consortium, height, step)
+        height += step
+        # Cold-start the joining replica: wipe any local remnants.
+        victim.replica.store.crash()
+        victim.replica.store._stable_logs.clear()
+        victim.replica.store._stable_cells.clear()
+        victim.delivery.on_crash()
+        started = sim.now
+        done = []
+        victim.recover(lambda: done.append(sim.now))
+        sim.run(until=started + 3600)
+        assert done, f"update never completed (blocks={height}, z={period})"
+        curve.append((height, done[0] - started))
+        victim.crash()
+    return curve
+
+
+@pytest.mark.parametrize("period_name", list(PERIODS))
+def test_fig8_curve(benchmark, table, period_name):
+    period = PERIODS[period_name]
+
+    curve = benchmark.pedantic(measure_curve, args=(period,),
+                               rounds=1, iterations=1)
+    _curves[period_name] = curve
+    print(f"\n{period_name}: " + ", ".join(
+        f"{blocks}->{seconds:.2f}s" for blocks, seconds in curve))
+    # Paper anchor: no-ckpt at 10k blocks ≈ 45 s.
+    paper = {"no-ckpt": 45.0 * (MAX_BLOCKS / 10_000)}.get(period_name, 0)
+    table.add(f"{period_name} at {MAX_BLOCKS} blocks",
+              curve[-1][1], paper)
+    assert all(seconds > 0 for _b, seconds in curve)
+
+
+def test_shape_no_checkpoint_grows_linearly(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    curve = _curves["no-ckpt"]
+    times = [seconds for _b, seconds in curve]
+    assert times == sorted(times), "update time must grow with chain length"
+    # Roughly linear: last point ≈ POINTS × first point.
+    assert times[-1] > 0.6 * POINTS * times[0]
+
+
+def test_shape_checkpoints_bound_update_time(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    no_ckpt = dict(_curves["no-ckpt"])
+    for name in ("500-ckpt", "1000-ckpt", "2000-ckpt"):
+        curve = dict(_curves[name])
+        # At the longest chain, any checkpoint curve beats no-ckpt.
+        assert curve[MAX_BLOCKS] < no_ckpt[MAX_BLOCKS]
+
+
+def test_shape_smaller_period_faster_update(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    at_max = {name: dict(curve)[MAX_BLOCKS]
+              for name, curve in _curves.items()}
+    assert at_max["500-ckpt"] <= at_max["2000-ckpt"] <= at_max["no-ckpt"]

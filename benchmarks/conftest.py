@@ -1,0 +1,64 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(Section VI).  By default the experiments run at reduced scale (fewer
+clients, shorter horizons) so the whole suite finishes in minutes; set
+``REPRO_FULL=1`` for the paper's 2400-client deployments.
+
+pytest-benchmark measures the *wall time of the simulation*; the quantity
+of scientific interest — simulated throughput/latency — is attached to each
+benchmark's ``extra_info`` and printed as paper-vs-measured rows.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Client population and measurement horizon per experiment.
+CLIENTS = 2400 if FULL else 1200
+DURATION = 4.0 if FULL else 2.5
+SEED = 1
+
+
+def fidelity(measured: float, paper: float) -> str:
+    if paper <= 0:
+        return "  n/a"
+    return f"{measured / paper:5.2f}x"
+
+
+class PaperTable:
+    """Collects rows and prints a paper-vs-measured table at teardown."""
+
+    def __init__(self, title: str, unit: str = "tx/s"):
+        self.title = title
+        self.unit = unit
+        self.rows: list[tuple[str, float, float]] = []
+
+    def add(self, label: str, measured: float, paper: float) -> None:
+        self.rows.append((label, measured, paper))
+
+    def emit(self, module_name: str = "") -> None:
+        lines = [f"=== {self.title} ===",
+                 f"{'configuration':<52} {'measured':>10} {'paper':>10} "
+                 f"{'ratio':>7}"]
+        for label, measured, paper in self.rows:
+            paper_text = f"{paper:>10.0f}" if paper else f"{'-':>10}"
+            lines.append(f"{label:<52} {measured:>10.0f} {paper_text} "
+                         f"{fidelity(measured, paper):>7}")
+        text = "\n".join(lines)
+        print("\n" + text)
+        results_dir = os.path.join(os.path.dirname(__file__), "results")
+        os.makedirs(results_dir, exist_ok=True)
+        name = module_name or self.title.split(":")[0].replace(" ", "_")
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+
+@pytest.fixture(scope="module")
+def table(request):
+    holder = PaperTable(getattr(request.module, "TABLE_TITLE",
+                                request.module.__name__))
+    yield holder
+    holder.emit(request.module.__name__.split(".")[-1])

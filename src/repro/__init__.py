@@ -1,0 +1,42 @@
+"""SmartChain reproduction: from Byzantine replication to blockchain.
+
+A full Python implementation of the SMARTCHAIN platform (Bessani et al.,
+DSN 2020) and every substrate it depends on: a deterministic discrete-event
+testbed, a BFT-SMART-style replication library, the blockchain layer with
+strong persistence and decentralized reconfiguration, the SMaRtCoin
+application, and simulated comparator systems.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.config import SmartChainConfig, SMRConfig
+    from repro.core import bootstrap
+    from repro.apps.smartcoin import SmartCoin
+
+    sim = Simulator(seed=1)
+    config = SmartChainConfig(smr=SMRConfig(n=4, f=1))
+    consortium = bootstrap(sim, (0, 1, 2, 3),
+                           lambda: SmartCoin(minters=["alice"]), config)
+
+See ``examples/quickstart.py`` for the full tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "baselines",
+    "bench",
+    "clients",
+    "config",
+    "consensus",
+    "core",
+    "crypto",
+    "errors",
+    "ledger",
+    "net",
+    "sim",
+    "smr",
+    "storage",
+    "workloads",
+]

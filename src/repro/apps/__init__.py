@@ -1,0 +1,21 @@
+"""Replicated applications: SMaRtCoin (UTXO), KV store, naive blockchain."""
+
+from repro.apps.kvstore import KVStore
+from repro.apps.naive import NaiveBlockchainDelivery
+from repro.apps.smartcoin import (
+    MINT_SIZES,
+    SPEND_SIZES,
+    SmartCoin,
+    Wallet,
+    coin_id,
+)
+
+__all__ = [
+    "KVStore",
+    "NaiveBlockchainDelivery",
+    "MINT_SIZES",
+    "SPEND_SIZES",
+    "SmartCoin",
+    "Wallet",
+    "coin_id",
+]

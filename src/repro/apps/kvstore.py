@@ -1,0 +1,65 @@
+"""A deterministic ordered key-value store.
+
+The second application of the reproduction (besides SMaRtCoin): it shows the
+replication and blockchain layers are application-agnostic and gives protocol
+tests a trivially-checkable state machine.
+
+Operations (``request.op``):
+- ``("put", key, value)`` → previous value (or ``None``)
+- ``("get", key)``        → current value (or ``None``)
+- ``("del", key)``        → deleted value (or ``None``)
+- ``("cas", key, expect, value)`` → ``True`` on swap, ``False`` otherwise
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.hashing import hash_obj
+from repro.smr.requests import ClientRequest
+from repro.smr.service import Application, ExecutionResult
+
+__all__ = ["KVStore"]
+
+
+class KVStore(Application):
+    """Deterministic replicated dictionary."""
+
+    def __init__(self, bytes_per_entry: int = 64):
+        self.data: dict[Any, Any] = {}
+        self.bytes_per_entry = bytes_per_entry
+        self.ops_executed = 0
+
+    def execute(self, request: ClientRequest) -> ExecutionResult:
+        op = request.op
+        action = op[0]
+        if action == "put":
+            _, key, value = op
+            previous = self.data.get(key)
+            self.data[key] = value
+            result: Any = previous
+        elif action == "get":
+            result = self.data.get(op[1])
+        elif action == "del":
+            result = self.data.pop(op[1], None)
+        elif action == "cas":
+            _, key, expect, value = op
+            if self.data.get(key) == expect:
+                self.data[key] = value
+                result = True
+            else:
+                result = False
+        else:
+            result = ("error", f"unknown op {action!r}")
+        self.ops_executed += 1
+        digest = hash_obj(("kv", request.client_id, request.req_id, repr(result)))
+        return result, digest
+
+    def snapshot(self) -> tuple[Any, int]:
+        return dict(self.data), max(64, len(self.data) * self.bytes_per_entry)
+
+    def install_snapshot(self, snapshot: Any) -> None:
+        self.data = dict(snapshot)
+
+    def state_digest(self) -> bytes:
+        return hash_obj(sorted((repr(k), repr(v)) for k, v in self.data.items()))

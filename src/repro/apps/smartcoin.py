@@ -1,0 +1,197 @@
+"""SMaRtCoin: the paper's digital coin application (Section IV-A).
+
+A deterministic wallet-like service managing coins under Bitcoin's UTXO
+model, broadly inspired by FabCoin.  Two transaction types:
+
+- ``MINT`` — create coins for the issuer; only addresses listed as
+  authorized minters (defined in the genesis block) may mint;
+- ``SPEND`` — consume input coins owned by the issuer and produce output
+  coins for recipient addresses (the evaluation uses single-input,
+  single-output SPENDs).
+
+Transactions are signed by clients; signature *cost* is charged by the
+replication layer (sequentially or in the verification pool — Table I), and
+the application enforces the authorization rules (mint permission, coin
+ownership, value conservation).  Invalid transactions execute to an error
+result that is recorded in the block: auditable rejection, not silent drop.
+
+Operation payloads (``request.op``):
+- ``("mint", issuer, ((value, nonce), ...))``
+- ``("spend", issuer, (coin_id, ...), ((recipient, amount), ...))``
+- ``("balance", address)`` — read-only helper for examples/tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.crypto.hashing import hash_obj
+from repro.smr.requests import ClientRequest
+from repro.smr.service import Application, ExecutionResult
+
+__all__ = ["SmartCoin", "Wallet", "MINT_SIZES", "SPEND_SIZES", "coin_id"]
+
+#: (request bytes, reply bytes) — Section IV-B, Observation 1.
+MINT_SIZES = (180, 270)
+SPEND_SIZES = (310, 380)
+
+#: In-memory bookkeeping bytes per UTXO, used to size snapshots.  The paper's
+#: Figure 7 state of 8M UTXOs ≈ 1 GB gives ≈128 B per coin.
+BYTES_PER_COIN = 128
+
+
+def coin_id(client_id: int, req_id: int, index: int) -> str:
+    """Deterministic coin identifier: any replica derives the same ids."""
+    return hash_obj(("coin", client_id, req_id, index)).hex()[:32]
+
+
+class SmartCoin(Application):
+    """The UTXO state machine."""
+
+    def __init__(self, minters: Iterable[str] = (),
+                 synthetic_state_bytes: int = 0):
+        #: coin id -> (owner address, value)
+        self.coins: dict[str, tuple[str, int]] = {}
+        self.minters: set[str] = set(minters)
+        #: Extra bytes charged to snapshots to emulate large states
+        #: (Figure 7's 1 GB) without materializing millions of dict entries.
+        self.synthetic_state_bytes = synthetic_state_bytes
+        self.minted_total = 0
+        self.spent_total = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, request: ClientRequest) -> ExecutionResult:
+        op = request.op
+        kind = op[0]
+        if kind == "mint":
+            result = self._mint(request, op)
+        elif kind == "spend":
+            result = self._spend(request, op)
+        elif kind == "balance":
+            result = self.balance(op[1])
+        else:
+            result = ("error", f"unknown transaction type {kind!r}")
+        digest = hash_obj(("sc", request.client_id, request.req_id, repr(result)))
+        return result, digest
+
+    def _mint(self, request: ClientRequest, op: tuple) -> Any:
+        _, issuer, outputs = op
+        if issuer not in self.minters:
+            self.rejected += 1
+            return ("error", "issuer is not authorized to mint")
+        created = []
+        for index, (value, _nonce) in enumerate(outputs):
+            if value <= 0:
+                self.rejected += 1
+                return ("error", "mint value must be positive")
+            cid = coin_id(request.client_id, request.req_id, index)
+            self.coins[cid] = (issuer, value)
+            created.append(cid)
+            self.minted_total += value
+        return ("minted", tuple(created))
+
+    def _spend(self, request: ClientRequest, op: tuple) -> Any:
+        _, issuer, inputs, outputs = op
+        total_in = 0
+        for cid in inputs:
+            coin = self.coins.get(cid)
+            if coin is None:
+                self.rejected += 1
+                return ("error", f"coin {cid} does not exist (double spend?)")
+            owner, value = coin
+            if owner != issuer:
+                self.rejected += 1
+                return ("error", f"coin {cid} is not owned by the issuer")
+            total_in += value
+        total_out = sum(amount for _, amount in outputs)
+        if total_out != total_in:
+            self.rejected += 1
+            return ("error", "inputs and outputs do not balance")
+        if any(amount <= 0 for _, amount in outputs):
+            self.rejected += 1
+            return ("error", "output amounts must be positive")
+        for cid in inputs:
+            del self.coins[cid]
+        created = []
+        for index, (recipient, amount) in enumerate(outputs):
+            cid = coin_id(request.client_id, request.req_id, index)
+            self.coins[cid] = (recipient, amount)
+            created.append(cid)
+        self.spent_total += total_in
+        return ("spent", tuple(created))
+
+    # ------------------------------------------------------------------
+    # Queries (used by examples and tests, not part of consensus)
+    # ------------------------------------------------------------------
+    def balance(self, address: str) -> int:
+        return sum(value for owner, value in self.coins.values()
+                   if owner == address)
+
+    def coins_of(self, address: str) -> list[str]:
+        return [cid for cid, (owner, _) in self.coins.items()
+                if owner == address]
+
+    def total_value(self) -> int:
+        return sum(value for _, value in self.coins.values())
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[Any, int]:
+        nbytes = max(64, len(self.coins) * BYTES_PER_COIN
+                     + self.synthetic_state_bytes)
+        state = (dict(self.coins), frozenset(self.minters),
+                 self.minted_total, self.spent_total)
+        return state, nbytes
+
+    def install_snapshot(self, snapshot: Any) -> None:
+        coins, minters, minted, spent = snapshot
+        self.coins = dict(coins)
+        self.minters = set(minters)
+        self.minted_total = minted
+        self.spent_total = spent
+
+    def state_digest(self) -> bytes:
+        return hash_obj((sorted(self.coins.items()), sorted(self.minters),
+                         self.minted_total, self.spent_total))
+
+
+@dataclass
+class Wallet:
+    """Client-side helper building properly-sized SMaRtCoin operations.
+
+    Tracks the coins a client owns (from transaction results) so workloads
+    can chain MINT → SPEND like the paper's two-phase methodology.
+    """
+
+    address: str
+    owned: list[tuple[str, int]] = field(default_factory=list)  # (coin id, value)
+    _nonce: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    def mint_op(self, value: int, count: int = 1) -> tuple:
+        outputs = tuple((value, next(self._nonce)) for _ in range(count))
+        return ("mint", self.address, outputs)
+
+    def spend_op(self, coin: tuple[str, int], recipient: str) -> tuple:
+        cid, value = coin
+        return ("spend", self.address, (cid,), ((recipient, value),))
+
+    def note_result(self, op: tuple, result: Any) -> None:
+        """Update owned coins from an executed operation's result."""
+        if not isinstance(result, tuple) or not result:
+            return
+        status = result[0]
+        if status == "minted" and op[0] == "mint":
+            for cid, (value, _nonce) in zip(result[1], op[2]):
+                self.owned.append((cid, value))
+        elif status == "spent" and op[0] == "spend":
+            spent_ids = set(op[2])
+            self.owned = [c for c in self.owned if c[0] not in spent_ids]
+
+    def take_coin(self) -> tuple[str, int] | None:
+        return self.owned.pop() if self.owned else None

@@ -1,0 +1,17 @@
+"""Simulated comparator systems (Table II): Tendermint- and Fabric-like."""
+
+from repro.baselines.fabric import FabricCluster, FabricConfig, FabricPeer
+from repro.baselines.tendermint import (
+    TendermintCluster,
+    TendermintConfig,
+    TendermintNode,
+)
+
+__all__ = [
+    "FabricCluster",
+    "FabricConfig",
+    "FabricPeer",
+    "TendermintCluster",
+    "TendermintConfig",
+    "TendermintNode",
+]

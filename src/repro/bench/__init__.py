@@ -1,0 +1,19 @@
+"""Benchmark harness: experiment runners and result formatting."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    run_dura_smart,
+    run_fabric,
+    run_naive_smartcoin,
+    run_smartchain,
+    run_tendermint,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_dura_smart",
+    "run_fabric",
+    "run_naive_smartcoin",
+    "run_smartchain",
+    "run_tendermint",
+]

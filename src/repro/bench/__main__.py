@@ -1,0 +1,94 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Examples::
+
+    python -m repro.bench table1                # Table I rows
+    python -m repro.bench table2                # Table II rows
+    python -m repro.bench calibration           # anchor fit report
+    python -m repro.bench smartchain --variant weak --clients 600
+
+For the figure sweeps (6, 7, 8) use the pytest benchmarks, which also assert
+the shapes: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.calibration import calibration_report
+from repro.bench.harness import (
+    run_dura_smart,
+    run_fabric,
+    run_naive_smartcoin,
+    run_smartchain,
+    run_tendermint,
+)
+from repro.config import PersistenceVariant, StorageMode, VerificationMode
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clients", type=int, default=1200)
+    parser.add_argument("--duration", type=float, default=2.5)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    for name in ("table1", "table2", "calibration"):
+        p = sub.add_parser(name)
+        _common(p)
+
+    p = sub.add_parser("smartchain")
+    _common(p)
+    p.add_argument("--variant", choices=["strong", "weak"], default="strong")
+    p.add_argument("--storage", choices=["sync", "async", "memory"],
+                   default="sync")
+    p.add_argument("--n", type=int, default=4)
+
+    args = parser.parse_args(argv)
+    kwargs = dict(clients=args.clients, duration=args.duration,
+                  seed=args.seed)
+
+    if args.experiment == "calibration":
+        print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
+        for label, paper, measured, ratio in calibration_report(**kwargs):
+            print(f"{label:<36} {paper:>8.0f} {measured:>9.0f} "
+                  f"{ratio:>5.2f}x")
+        return 0
+
+    if args.experiment == "table1":
+        rows = [
+            run_naive_smartcoin(VerificationMode.SEQUENTIAL,
+                                StorageMode.SYNC, **kwargs),
+            run_naive_smartcoin(VerificationMode.SEQUENTIAL,
+                                StorageMode.ASYNC, **kwargs),
+            run_naive_smartcoin(VerificationMode.PARALLEL,
+                                StorageMode.SYNC, **kwargs),
+            run_naive_smartcoin(VerificationMode.PARALLEL,
+                                StorageMode.ASYNC, **kwargs),
+            run_dura_smart(**kwargs),
+        ]
+    elif args.experiment == "table2":
+        rows = [
+            run_smartchain(PersistenceVariant.STRONG, **kwargs),
+            run_smartchain(PersistenceVariant.WEAK, **kwargs),
+            run_tendermint(**{**kwargs,
+                              "duration": max(8.0, args.duration)}),
+            run_fabric(**{**kwargs, "duration": max(8.0, args.duration)}),
+        ]
+    else:  # smartchain
+        rows = [run_smartchain(
+            PersistenceVariant(args.variant), StorageMode(args.storage),
+            n=args.n, **kwargs)]
+
+    for result in rows:
+        print(result.row())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

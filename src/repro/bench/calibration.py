@@ -1,0 +1,91 @@
+"""Calibration: how the cost model's constants were fixed, and a self-check.
+
+DESIGN.md's rule: constants are fitted **once** against the n=4 column of
+Table I, then held fixed for every other experiment.  This module documents
+each constant's provenance and provides :func:`calibration_report`, which
+re-runs the anchor experiments and reports the measured-to-paper ratios —
+the benchmark suite asserts the shapes, this reports the absolute fit.
+
+Provenance of every constant (see ``repro.config.CostModel``):
+
+===========================  =========================================================
+constant                      provenance
+===========================  =========================================================
+crypto.verify_time (330 µs)   fitted: Table I sequential-verification rows
+                              (~1.75k tx/s ceiling on one 2.27 GHz core);
+                              consistent with RSA-1024 verify on that CPU
+crypto.sign_time (450 µs)     RSA/ECDSA sign-to-verify ratio on the same core
+network (1 Gbps, 0.25 ms)     the paper's testbed (Section VI-A)
+disk.sync_latency (2.5 ms)    fitted: sync-vs-async deltas of Table I and the
+                              Si+Sy vs Si columns of Figure 6
+disk.snapshot (45 MB/s)       Figure 7: a 1 GB checkpoint takes ≈23 s
+state_serialize (20 MB/s)     Figure 7: a 1 GB state transfer takes ≈60 s
+exec/reply (14+14 µs)         fitted: Dura-SMaRt row of Table I (≈15k tx/s)
+signed_tx_sm_overhead (30 µs) fitted: the signatures-on/off gap of Figure 6
+naive_ledger (200 µs/tx)      fitted: Table I parallel-verification rows —
+                              Observation 1's application-level block building
+block_build (2.2 ms/block)    fitted: SmartChain weak vs Durable-SMaRt gap
+persist_handling (3 ms/block) fitted: the strong-vs-weak ≈13% gap of Table II
+replay_time (8 µs/tx)         Figure 8: no-checkpoint update of 10k blocks ≈45 s
+===========================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CostModel, PersistenceVariant, StorageMode, VerificationMode
+
+__all__ = ["CalibrationAnchor", "ANCHORS", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class CalibrationAnchor:
+    """One paper number the model is anchored to."""
+
+    label: str
+    paper_tx_s: float
+    runner: str                      # harness function name
+    kwargs: tuple = ()               # frozen (key, value) pairs
+
+
+ANCHORS = (
+    CalibrationAnchor(
+        "Table I: naive sequential+sync", 1729, "run_naive_smartcoin",
+        (("verification", VerificationMode.SEQUENTIAL),
+         ("storage", StorageMode.SYNC))),
+    CalibrationAnchor(
+        "Table I: naive parallel+sync", 3881, "run_naive_smartcoin",
+        (("verification", VerificationMode.PARALLEL),
+         ("storage", StorageMode.SYNC))),
+    CalibrationAnchor(
+        "Table I: Dura-SMaRt", 14829, "run_dura_smart", ()),
+    CalibrationAnchor(
+        "Table II: SmartChain weak", 14547, "run_smartchain",
+        (("variant", PersistenceVariant.WEAK),)),
+    CalibrationAnchor(
+        "Table II: SmartChain strong", 12560, "run_smartchain",
+        (("variant", PersistenceVariant.STRONG),)),
+)
+
+
+def calibration_report(clients: int = 1200, duration: float = 2.5,
+                       seed: int = 1, costs: CostModel | None = None) -> list:
+    """Re-run the anchors; returns [(label, paper, measured, ratio), ...].
+
+    Used by tests to pin the calibration (each anchor must stay within
+    ±35% of the paper at reduced scale) and by operators after touching
+    any constant.
+    """
+    from repro.bench import harness
+
+    rows = []
+    for anchor in ANCHORS:
+        runner = getattr(harness, anchor.runner)
+        kwargs = dict(anchor.kwargs)
+        result = runner(clients=clients, duration=duration, seed=seed,
+                        costs=costs, **kwargs)
+        ratio = result.throughput / anchor.paper_tx_s
+        rows.append((anchor.label, anchor.paper_tx_s, result.throughput,
+                     ratio))
+    return rows

@@ -1,0 +1,5 @@
+"""Client-side library: closed-loop clients, stations, reply quorums."""
+
+from repro.clients.client import Client, ClientStation, OpSpec
+
+__all__ = ["Client", "ClientStation", "OpSpec"]

@@ -1,0 +1,217 @@
+"""Clients and client stations.
+
+The paper's workload is closed-loop: 2400 client processes spread over four
+machines, each issuing its next request only after the previous one
+completed (Section VI-A).  A :class:`ClientStation` models one client
+machine: it hosts many :class:`Client` objects, coalesces their outgoing
+requests into per-replica batch messages on a small send window, and matches
+incoming replies against the Byzantine reply quorum ⌈(n+f+1)/2⌉ — matching
+replies from that many distinct replicas make an invocation return
+(Section IV-B, Observation 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import LatencyRecorder, ThroughputMeter
+from repro.net.network import Network
+from repro.smr.requests import ClientRequest, ReplyBatchMsg, RequestBatchMsg, RequestKey
+from repro.smr.views import View
+
+__all__ = ["OpSpec", "Client", "ClientStation"]
+
+_client_ids = itertools.count(10_000)
+
+
+@dataclass
+class OpSpec:
+    """One operation a client wants executed."""
+
+    op: Any
+    size: int = 128          # request bytes (paper: 180 MINT / 310 SPEND)
+    reply_size: int = 128    # reply bytes (paper: 270 MINT / 380 SPEND)
+    signed: bool = True
+    special: str = ""
+
+
+@dataclass
+class _Outstanding:
+    request: ClientRequest
+    client: "Client"
+    votes: dict[bytes, set[int]] = field(default_factory=dict)
+    payloads: dict[bytes, Any] = field(default_factory=dict)
+
+
+class Client:
+    """A closed-loop client: one outstanding request at a time."""
+
+    def __init__(
+        self,
+        station: "ClientStation",
+        workload: Iterable[OpSpec] | Iterator[OpSpec],
+        client_id: int | None = None,
+        think_time: float = 0.0,
+        on_result: Callable[[OpSpec, Any], None] | None = None,
+    ):
+        self.station = station
+        self.id = client_id if client_id is not None else next(_client_ids)
+        self.workload = iter(workload)
+        self.think_time = think_time
+        self.on_result = on_result
+        self.completed = 0
+        self.done = False
+        self._req_seq = 0
+        self.last_result: Any = None
+        station.adopt(self)
+
+    def start(self) -> None:
+        self._next()
+
+    def _next(self) -> None:
+        spec = next(self.workload, None)
+        if spec is None:
+            self.done = True
+            self.station.client_finished(self)
+            return
+        self._req_seq += 1
+        self.station.submit(self, spec, self._req_seq)
+
+    def _completed(self, spec: OpSpec, result: Any) -> None:
+        self.completed += 1
+        self.last_result = result
+        if self.on_result is not None:
+            self.on_result(spec, result)
+        if self.think_time > 0:
+            self.station.sim.schedule(self.think_time, self._next)
+        else:
+            self._next()
+
+
+class ClientStation:
+    """A client machine: coalesces sends, fans in replies, tracks quorums."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        station_id: int,
+        view_of: Callable[[], View],
+        send_window: float = 0.001,
+        resend_timeout: float = 8.0,
+    ):
+        self.sim = sim
+        self.net = network
+        self.id = station_id
+        self.view_of = view_of
+        self.send_window = send_window
+        self.resend_timeout = resend_timeout
+        self.clients: dict[int, Client] = {}
+        self.outstanding: dict[RequestKey, _Outstanding] = {}
+        self.meter = ThroughputMeter(sim)
+        self.latency = LatencyRecorder()
+        self.finished_clients = 0
+        self._buffer: list[ClientRequest] = []
+        self._flush_timer = None
+        self._resend_timer = None
+        self.endpoint = network.register(station_id, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Client management
+    # ------------------------------------------------------------------
+    def adopt(self, client: Client) -> None:
+        self.clients[client.id] = client
+
+    def start_all(self, stagger: float = 0.0) -> None:
+        """Start every adopted client, optionally staggered (ramp-up)."""
+        for index, client in enumerate(self.clients.values()):
+            if stagger > 0:
+                self.sim.schedule(stagger * index, client.start)
+            else:
+                self.sim.call_soon(client.start)
+
+    def client_finished(self, client: Client) -> None:
+        self.finished_clients += 1
+
+    @property
+    def all_done(self) -> bool:
+        return self.finished_clients == len(self.clients)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def submit(self, client: Client, spec: OpSpec, req_seq: int) -> None:
+        request = ClientRequest(
+            client_id=client.id,
+            req_id=req_seq,
+            op=spec.op,
+            size=spec.size,
+            signed=spec.signed,
+            sent_at=self.sim.now,
+            station=self.id,
+            reply_size=spec.reply_size,
+            special=spec.special,
+        )
+        self.outstanding[request.key] = _Outstanding(request, client)
+        self._buffer.append(request)
+        if self._flush_timer is None:
+            self._flush_timer = self.sim.schedule(self.send_window, self._flush)
+        self._arm_resend()
+
+    def _flush(self) -> None:
+        self._flush_timer = None
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        view = self.view_of()
+        nbytes = sum(r.size for r in batch) + 16 * len(batch)
+        for replica_id in view.members:
+            self.net.send(self.id, replica_id,
+                          RequestBatchMsg(requests=batch, size=nbytes))
+
+    def _arm_resend(self) -> None:
+        if self._resend_timer is None and self.resend_timeout > 0:
+            self._resend_timer = self.sim.schedule(self.resend_timeout,
+                                                   self._resend_check)
+
+    def _resend_check(self) -> None:
+        self._resend_timer = None
+        if not self.outstanding:
+            return
+        stale = [o.request for o in self.outstanding.values()
+                 if self.sim.now - o.request.sent_at >= self.resend_timeout]
+        if stale:
+            view = self.view_of()
+            nbytes = sum(r.size for r in stale) + 16 * len(stale)
+            for replica_id in view.members:
+                self.net.send(self.id, replica_id,
+                              RequestBatchMsg(requests=stale, size=nbytes))
+        self._arm_resend()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_message(self, src: int, msg) -> None:
+        if not isinstance(msg, ReplyBatchMsg):
+            return
+        quorum = self.view_of().quorum
+        for key, (payload, digest) in msg.results.items():
+            record = self.outstanding.get(key)
+            if record is None:
+                continue  # duplicate/late reply
+            voters = record.votes.setdefault(digest, set())
+            voters.add(msg.replica_id)
+            record.payloads[digest] = payload
+            if len(voters) >= quorum:
+                del self.outstanding[key]
+                latency = self.sim.now - record.request.sent_at
+                self.latency.record(latency)
+                self.meter.record()
+                spec = OpSpec(op=record.request.op, size=record.request.size,
+                              reply_size=record.request.reply_size,
+                              signed=record.request.signed,
+                              special=record.request.special)
+                record.client._completed(spec, record.payloads[digest])

@@ -1,0 +1,24 @@
+"""VP-Consensus: the Byzantine consensus primitive under Mod-SMaRt."""
+
+from repro.consensus.instance import ConsensusInstance, Phase
+from repro.consensus.messages import (
+    AcceptMsg,
+    ProposeMsg,
+    StopDataMsg,
+    StopMsg,
+    SyncMsg,
+    WriteMsg,
+    batch_wire_size,
+)
+
+__all__ = [
+    "ConsensusInstance",
+    "Phase",
+    "AcceptMsg",
+    "ProposeMsg",
+    "StopDataMsg",
+    "StopMsg",
+    "SyncMsg",
+    "WriteMsg",
+    "batch_wire_size",
+]

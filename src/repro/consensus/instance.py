@@ -1,0 +1,134 @@
+"""Per-instance consensus bookkeeping (VP-Consensus / Byzantine Paxos).
+
+One :class:`ConsensusInstance` tracks the PROPOSE/WRITE/ACCEPT progress of a
+single consensus id at a single replica.  The replica drives transitions; the
+instance only counts votes and enforces quorum rules, which keeps the state
+machine testable in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.crypto.keys import Signature
+
+if TYPE_CHECKING:  # pragma: no cover - avoid the smr <-> consensus cycle
+    from repro.smr.requests import ClientRequest
+
+__all__ = ["Phase", "ConsensusInstance"]
+
+
+class Phase(enum.Enum):
+    IDLE = "idle"
+    PROPOSED = "proposed"    # batch received, WRITE sent
+    ACCEPTED = "accepted"    # WRITE quorum seen, ACCEPT sent
+    DECIDED = "decided"
+
+
+class ConsensusInstance:
+    """Vote-counting state for consensus instance ``cid`` at one replica."""
+
+    def __init__(self, cid: int, quorum: int):
+        self.cid = cid
+        self.quorum = quorum
+        self.phase = Phase.IDLE
+        self.regency: int | None = None
+        self.batch: list[ClientRequest] | None = None
+        self.batch_hash: bytes | None = None
+        # hash -> set of replicas that sent WRITE for it
+        self.writes: dict[bytes, set[int]] = {}
+        # hash -> {replica: signature} from ACCEPT messages
+        self.accepts: dict[bytes, dict[int, Signature]] = {}
+        #: Value this replica ACCEPTed, with the regency it did so in —
+        #: reported in STOPDATA during a leader change.
+        self.writeset: tuple[int, bytes, list[ClientRequest]] | None = None
+        self.decided_hash: bytes | None = None
+
+    # ------------------------------------------------------------------
+    # Transitions (return True when the event advances the phase)
+    # ------------------------------------------------------------------
+    def on_propose(self, regency: int, batch: list[ClientRequest],
+                   batch_hash: bytes) -> bool:
+        """Record the leader's proposal; returns True if a WRITE should be sent."""
+        if self.phase is Phase.DECIDED:
+            return False
+        if self.batch_hash is not None and self.batch_hash != batch_hash:
+            # A conflicting proposal for the same instance: ignore (the
+            # first one wins locally; equivocation is resolved by quorums).
+            return False
+        self.regency = regency
+        self.batch = batch
+        self.batch_hash = batch_hash
+        if self.phase is Phase.IDLE:
+            self.phase = Phase.PROPOSED
+            return True
+        return False
+
+    def on_write(self, sender: int, batch_hash: bytes) -> bool:
+        """Count a WRITE; returns True when the quorum is first reached
+        (the replica should then send its signed ACCEPT)."""
+        voters = self.writes.setdefault(batch_hash, set())
+        if sender in voters:
+            return False
+        voters.add(sender)
+        if (len(voters) >= self.quorum
+                and self.phase in (Phase.IDLE, Phase.PROPOSED)
+                and self.batch_hash == batch_hash):
+            self.phase = Phase.ACCEPTED
+            return True
+        return False
+
+    def record_accept_sent(self, regency: int) -> None:
+        """Remember the value we vouched for (used in STOPDATA)."""
+        if self.batch_hash is not None and self.batch is not None:
+            self.writeset = (regency, self.batch_hash, self.batch)
+
+    def on_accept(self, sender: int, batch_hash: bytes,
+                  signature: Signature) -> bool:
+        """Count a signed ACCEPT; returns True when the decision quorum is
+        first reached."""
+        votes = self.accepts.setdefault(batch_hash, {})
+        if sender in votes:
+            return False
+        votes[sender] = signature
+        if (len(votes) >= self.quorum
+                and self.phase is not Phase.DECIDED
+                and self.batch_hash == batch_hash):
+            self.phase = Phase.DECIDED
+            self.decided_hash = batch_hash
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        return self.phase is Phase.DECIDED
+
+    def decision_proof(self) -> dict[int, Signature]:
+        """Quorum of ACCEPT signatures for the decided hash."""
+        if self.decided_hash is None:
+            return {}
+        return dict(self.accepts.get(self.decided_hash, {}))
+
+    def write_count(self, batch_hash: bytes) -> int:
+        return len(self.writes.get(batch_hash, ()))
+
+    def accept_count(self, batch_hash: bytes) -> int:
+        return len(self.accepts.get(batch_hash, ()))
+
+    def reset_for_regency(self, regency: int) -> None:
+        """Re-arm the instance after a leader change.
+
+        WRITE/ACCEPT tallies restart for the new regency, but the writeset
+        (the value this replica vouched for) is preserved — it is the
+        safety-critical piece the new leader collects.
+        """
+        self.phase = Phase.IDLE
+        self.regency = regency
+        self.batch = None
+        self.batch_hash = None
+        self.writes.clear()
+        self.accepts.clear()

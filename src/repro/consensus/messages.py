@@ -1,0 +1,103 @@
+"""VP-Consensus and synchronization-phase wire messages.
+
+The normal-case pattern follows Figure 1 of the paper (and PBFT):
+PROPOSE carries the batch, WRITE echoes its hash, ACCEPT is signed and a
+quorum of ACCEPTs forms the decision proof.  STOP / STOPDATA / SYNC
+implement Mod-SMaRt's synchronization phase (leader change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from typing import TYPE_CHECKING
+
+from repro.crypto.keys import Signature
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - avoid the smr <-> consensus cycle
+    from repro.smr.requests import ClientRequest
+
+__all__ = [
+    "ProposeMsg",
+    "WriteMsg",
+    "AcceptMsg",
+    "StopMsg",
+    "StopDataMsg",
+    "SyncMsg",
+    "batch_wire_size",
+]
+
+#: Serialized overhead of consensus message headers, bytes.
+_CONSENSUS_HEADER = 48
+
+
+def batch_wire_size(batch: list[ClientRequest]) -> int:
+    """Wire size of a proposed batch: payload plus per-request framing."""
+    return sum(req.size for req in batch) + 16 * len(batch) + _CONSENSUS_HEADER
+
+
+@dataclass
+class ProposeMsg(Message):
+    """Leader → all: the batch proposed for consensus instance ``cid``."""
+
+    cid: int = 0
+    regency: int = 0
+    batch: list[ClientRequest] = field(default_factory=list)
+    batch_hash: bytes = b""
+
+
+@dataclass
+class WriteMsg(Message):
+    """Replica → all: echo of the proposed batch hash."""
+
+    cid: int = 0
+    regency: int = 0
+    batch_hash: bytes = b""
+    size: int = field(default=_CONSENSUS_HEADER + 32, kw_only=True)
+
+
+@dataclass
+class AcceptMsg(Message):
+    """Replica → all: signed acceptance; a quorum forms the decision proof."""
+
+    cid: int = 0
+    regency: int = 0
+    batch_hash: bytes = b""
+    signature: Signature | None = None
+    size: int = field(default=_CONSENSUS_HEADER + 32 + Signature.WIRE_SIZE, kw_only=True)
+
+
+@dataclass
+class StopMsg(Message):
+    """Replica → all: vote to abandon the current regency."""
+
+    next_regency: int = 0
+    size: int = field(default=_CONSENSUS_HEADER, kw_only=True)
+
+
+@dataclass
+class StopDataMsg(Message):
+    """Replica → new leader: state needed to safely resume ordering.
+
+    ``writeset`` carries the value (hash and batch) this replica observed a
+    WRITE quorum for in the pending instance, if any — the new leader must
+    re-propose the highest such value to preserve agreement.
+    """
+
+    regency: int = 0
+    last_decided_cid: int = -1
+    pending_cid: int | None = None
+    writeset: tuple[int, bytes, list[ClientRequest]] | None = None  # (regency, hash, batch)
+
+
+@dataclass
+class SyncMsg(Message):
+    """New leader → all: resolution of the synchronization phase."""
+
+    regency: int = 0
+    cid: int = 0
+    batch: list[ClientRequest] | None = None
+    batch_hash: bytes = b""
+    collected_from: tuple[int, ...] = ()

@@ -1,0 +1,30 @@
+"""SMARTCHAIN: the paper's blockchain platform (Algorithm 1 + reconfiguration)."""
+
+from repro.core.blockchain_layer import ReconfigOutcome, SmartChainDelivery
+from repro.core.node import Consortium, SmartChainNode, bootstrap
+from repro.core.persistence import (
+    PersistenceLevel,
+    PersistMsg,
+    persistence_level_of,
+)
+from repro.core.reconfig import (
+    ReconfigAskMsg,
+    ReconfigManager,
+    ReconfigVoteMsg,
+    accept_all_policy,
+)
+
+__all__ = [
+    "ReconfigOutcome",
+    "SmartChainDelivery",
+    "Consortium",
+    "SmartChainNode",
+    "bootstrap",
+    "PersistenceLevel",
+    "PersistMsg",
+    "persistence_level_of",
+    "ReconfigAskMsg",
+    "ReconfigManager",
+    "ReconfigVoteMsg",
+    "accept_all_policy",
+]

@@ -1,0 +1,933 @@
+"""The SMARTCHAIN blockchain layer: Algorithm 1 of the paper.
+
+A delivery layer that turns the Mod-SMaRt decision stream into a durable,
+self-verifiable chain of blocks:
+
+- the transaction batch is written to the blockchain file *asynchronously,
+  in parallel with execution* (lines 17-19);
+- results are appended after execution (line 20) — auditability;
+- the header closes the block and a ``syncDisk`` makes it stable before
+  clients see replies (lines 21-29);
+- in the **strong** variant the PERSIST phase then collects a Byzantine
+  quorum of header signatures into the block certificate (lines 31-36) —
+  0-Persistence.  Only signatures by consensus keys *recorded on the chain*
+  (genesis, reconfiguration blocks, keyreg transactions) count, because a
+  third-party verifier can validate no others.  If the recorded quorum is
+  temporarily unreachable (e.g. a freshly installed view whose late key
+  registrations are still in flight), the block completes uncertified and
+  is re-certified as soon as the keys land — liveness is never hostage to
+  the certificate;
+- checkpoints run every z blocks (z from the genesis block) and snapshots
+  are written *outside* the chain (lines 49-54);
+- reconfiguration transactions get their own blocks carrying the new view
+  and its certified consensus keys (lines 37-48).
+
+State transfer serves *checkpoint + blocks up to an agreed consensus id*
+(Section V-C: "sending the last checkpoint covering up to a block b plus the
+blocks after it"), so any two correct replicas serve bit-identical packages
+for the same target — the receiver's f+1 hash comparison is meaningful even
+while the system keeps processing new blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.config import PersistenceVariant, SmartChainConfig, StorageMode
+from repro.crypto.hashing import hash_obj
+from repro.crypto.keys import Signature
+from repro.errors import LedgerError
+from repro.ledger.block import (
+    Block,
+    BlockBody,
+    BlockHeader,
+    Certificate,
+    KeyAnnouncement,
+    TxRecord,
+)
+from repro.ledger.chain import Blockchain
+from repro.ledger.genesis import GenesisBlock
+from repro.core.persistence import PersistMsg, persistence_level_of
+from repro.smr.requests import ClientRequest, Decision
+from repro.smr.service import Application, SequentialDelivery
+from repro.smr.views import View
+from repro.storage.stable import AsyncFlusher
+
+__all__ = ["SmartChainDelivery", "ReconfigOutcome", "CheckpointInfo"]
+
+
+class ReconfigOutcome:
+    """What the reconfiguration handler decides for a special transaction."""
+
+    def __init__(self, new_view: View | None = None,
+                 announcements: list[KeyAnnouncement] = (),
+                 permanent_updates: dict[int, str] | None = None,
+                 result: Any = None):
+        self.new_view = new_view
+        self.announcements = list(announcements)
+        self.permanent_updates = dict(permanent_updates or {})
+        self.result = result
+
+
+@dataclass
+class CheckpointInfo:
+    """A service snapshot and the chain position it covers."""
+
+    block_number: int
+    consensus_id: int
+    snapshot: Any
+    nbytes: int
+    view_id: int
+    members: tuple[int, ...]
+    permanent_keys: tuple[tuple[int, str], ...]
+    recorded: tuple[tuple[int, tuple[int, ...]], ...]
+    last_reconfig: int
+    head_digest: bytes
+
+
+class SmartChainDelivery(SequentialDelivery):
+    """Algorithm 1, attached on top of a Mod-SMaRt replica."""
+
+    LOG = "chain"
+    SNAPSHOT = "chain-snapshot"
+
+    def __init__(self, app: Application, chain_config: SmartChainConfig,
+                 genesis: GenesisBlock):
+        super().__init__()
+        self.app = app
+        self.cfg = chain_config
+        self.genesis = genesis
+        self.chain = Blockchain(genesis)
+        self.variant = chain_config.variant
+        self.storage = chain_config.storage
+        self.last_reconfig = -1
+        self.last_checkpoint = -1
+        self.executed_cid = -1
+        self._flusher: AsyncFlusher | None = None
+        #: PERSIST signatures collected per block number.
+        self._persist_votes: dict[int, dict[int, tuple[bytes, Signature]]] = {}
+        #: Blocks waiting for their certificate: number -> (digest, completion).
+        self._persist_waits: dict[int, tuple[bytes, Callable[[], None]]] = {}
+        self._persist_timers: dict[int, Any] = {}
+        #: Special-transaction handler installed by the reconfiguration
+        #: manager; returns a ReconfigOutcome (or None to reject).
+        self.reconfig_handler: Callable[[ClientRequest], ReconfigOutcome | None] | None = None
+        #: Hook invoked after a reconfiguration block completes.
+        self.on_reconfiguration: Callable[[Block, ReconfigOutcome], None] | None = None
+        #: The owning SmartChainNode (set by the node; optional for tests).
+        self.node = None
+        #: Members whose consensus keys are recorded on the chain, per view.
+        self.recorded_members: dict[int, set[int]] = {
+            0: {a.replica_id for a in genesis.key_announcements}}
+        #: Recent checkpoint generations, oldest first (the initial one
+        #: stands in for genesis).  Several are retained so that state
+        #: transfer can serve a package pinned to a slightly older target
+        #: deterministically, even when servers checkpoint at different
+        #: wall-clock instants.
+        self._checkpoints: list[CheckpointInfo] = []
+        # Statistics.
+        self.blocks_built = 0
+        self.reconfig_blocks = 0
+        self.checkpoints_taken = 0
+        self.certs_completed = 0
+        self.certs_timed_out = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, replica) -> None:
+        super().attach(replica)
+        replica.register_handler(PersistMsg, self._on_persist)
+        if self.storage is StorageMode.ASYNC:
+            self._flusher = AsyncFlusher(
+                replica.store, replica.config.async_flush_interval)
+            self._flusher.start()
+        self._write_genesis()
+        self._checkpoints = [self._make_checkpoint_info(0, -1)]
+
+    def _write_genesis(self) -> None:
+        store = self.replica.store
+        if store.log_length(self.LOG) or store.volatile_length(self.LOG):
+            return  # already on disk (recovery path)
+        record = ("genesis", 0, self.genesis.to_record())
+        store.append(self.LOG, record, self.genesis.serialized_bytes())
+        if self.storage is StorageMode.SYNC:
+            store.sync()
+
+    @property
+    def persistence_level(self):
+        return persistence_level_of(self.variant, self.storage)
+
+    def _make_checkpoint_info(self, block_number: int,
+                              consensus_id: int) -> CheckpointInfo:
+        snapshot, nbytes = self.app.snapshot()
+        replica = self.replica
+        if block_number == 0:
+            head_digest = self.genesis.hash_for_block_one
+        elif block_number == self.chain.height:
+            head_digest = self.chain.head_digest()
+        else:
+            head_digest = self.chain.get(block_number).digest()
+        return CheckpointInfo(
+            block_number=block_number,
+            consensus_id=consensus_id,
+            snapshot=snapshot,
+            nbytes=nbytes,
+            view_id=replica.cv.view_id,
+            members=tuple(replica.cv.members),
+            permanent_keys=tuple(sorted(self._permanent_keys().items())),
+            recorded=tuple(sorted((vid, tuple(sorted(members)))
+                                  for vid, members in
+                                  self.recorded_members.items())),
+            last_reconfig=self.last_reconfig,
+            head_digest=head_digest,
+        )
+
+    def _permanent_keys(self) -> dict[int, str]:
+        if self.node is not None:
+            return self.node.permanent_keys
+        return dict(self.genesis.permanent_keys)
+
+    # ------------------------------------------------------------------
+    # Sequential block processing
+    # ------------------------------------------------------------------
+    #: When the delivery pipeline lags the ordering frontier by more than
+    #: this many decisions, blocks are processed in *catch-up mode*: replay
+    #: speed (no reply marshalling, no stable-write or PERSIST waits).  A
+    #: replica that lags (fresh joiner, recovered node) converges to the
+    #: head instead of trailing it forever.
+    CATCHUP_LAG = 20
+
+    def process(self, decision: Decision, done) -> None:
+        if decision.batch and decision.batch[0].special:
+            self._process_special(decision, done)
+            return
+        lag = self.replica.last_decided - decision.cid
+        if lag > self.CATCHUP_LAG:
+            self._process_catchup(decision, done)
+        else:
+            self._process_regular(decision, done)
+
+    def _process_catchup(self, decision: Decision, done) -> None:
+        """Fast-replay a stale decision: the rest of the group already
+        certified and answered it; this replica only needs the state and
+        the block."""
+        replica = self.replica
+        number = self.chain.height + 1
+        tx_records = [self._tx_record(r) for r in decision.batch]
+        body_bytes = decision.payload_bytes() + 64 + 72 * len(decision.proof)
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG, ("txs", number, decision.cid,
+                           tuple(t.to_record() for t in tx_records),
+                           decision.batch_hash),
+                body_bytes)
+        work = (len(decision.batch) * replica.costs.replay_time_per_tx
+                + replica.costs.batch_overhead)
+        replica.charge_sm(work, self._apply_catchup, decision, tx_records,
+                          number, done)
+
+    def _apply_catchup(self, decision: Decision, tx_records, number,
+                       done) -> None:
+        replica = self.replica
+        results_map = self.app.execute_batch(decision.batch)
+        self.executed_cid = decision.cid
+        result_records = [(key[0], key[1], repr(value[0]), value[1])
+                          for key, value in results_map.items()]
+        body = BlockBody(consensus_id=decision.cid, transactions=tx_records,
+                         results=result_records,
+                         batch_hash=decision.batch_hash)
+        header = BlockHeader(
+            number=number,
+            last_reconfig=self.last_reconfig,
+            last_checkpoint=self.last_checkpoint,
+            view_id=replica.cv.view_id,
+            hash_transactions=body.hash_transactions(),
+            hash_results=body.hash_results(),
+            hash_last_block=self.chain.head_digest(),
+        )
+        block = Block(header, body, consensus_proof=dict(decision.proof))
+        self.chain.append(block)
+        self.blocks_built += 1
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG, ("results", number, tuple(result_records)),
+                sum(len(r[2]) + 48 for r in result_records))
+            replica.store.append(
+                self.LOG,
+                ("header", number, header.to_record(),
+                 self._proof_record(decision)),
+                BlockHeader.WIRE_SIZE + 72 * len(decision.proof))
+        replica.note_executed(decision)
+        # Certificate from already-buffered PERSIST votes, if any; no wait.
+        if (self.variant is PersistenceVariant.STRONG
+                and self.storage is not StorageMode.MEMORY):
+            digest = block.digest()
+            votes = self._persist_votes.pop(number, {})
+            recorded = self.recorded_members.get(replica.cv.view_id, set())
+            matching = {rid: sig for rid, (d, sig) in votes.items()
+                        if d == digest and rid in recorded}
+            if len(matching) >= replica.cv.cert_quorum:
+                certificate = Certificate(number, digest,
+                                          replica.cv.view_id)
+                for rid, signature in matching.items():
+                    certificate.add(rid, signature)
+                block.certificate = certificate
+                self.certs_completed += 1
+                replica.store.append(
+                    self.LOG, ("cert", number, certificate.to_record()),
+                    certificate.size_bytes())
+        lag = replica.last_decided - decision.cid
+        if lag <= self.CATCHUP_LAG:
+            # Caught up: make everything stable and re-certify stragglers.
+            if self.storage is StorageMode.SYNC:
+                replica.store.sync()
+            if self.can_self_verify():
+                replica.sim.call_soon(self.repersist_missing)
+        self._maybe_checkpoint(number, done)
+
+    def _process_regular(self, decision: Decision, done) -> None:
+        replica = self.replica
+        costs = replica.costs
+        number = self.chain.height + 1
+        tx_records = [self._tx_record(r) for r in decision.batch]
+        # Line 18: the batch (plus its consensus proof) goes to the chain
+        # file immediately — the disk works in parallel with execution.
+        body_bytes = decision.payload_bytes() + 64 + 72 * len(decision.proof)
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG,
+                ("txs", number, decision.cid,
+                 tuple(t.to_record() for t in tx_records),
+                 decision.batch_hash),
+                body_bytes)
+        work = replica.execution_cost(decision.batch)
+        work += costs.block_build_overhead
+        work += costs.crypto.hash_time_per_kb * (body_bytes / 1024)
+        replica.charge_sm(work, self._executed, decision, tx_records, number,
+                          done)
+
+    def _executed(self, decision: Decision, tx_records: list[TxRecord],
+                  number: int, done) -> None:
+        replica = self.replica
+        results_map = self.app.execute_batch(decision.batch)
+        self.executed_cid = decision.cid
+        result_records = [
+            (key[0], key[1], repr(value[0]), value[1])
+            for key, value in results_map.items()
+        ]
+        body = BlockBody(
+            consensus_id=decision.cid,
+            transactions=tx_records,
+            results=result_records,
+            batch_hash=decision.batch_hash,
+        )
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG, ("results", number, tuple(result_records)),
+                sum(len(r[2]) + 48 for r in result_records))
+        self._close_block(number, body, decision, results_map, done)
+
+    def _close_block(self, number: int, body: BlockBody, decision: Decision,
+                     results_map: dict, done,
+                     reconfig: ReconfigOutcome | None = None) -> None:
+        """Lines 21, 26-29: write the header and make the block stable."""
+        replica = self.replica
+        header = BlockHeader(
+            number=number,
+            last_reconfig=self.last_reconfig,
+            last_checkpoint=self.last_checkpoint,
+            view_id=replica.cv.view_id,
+            hash_transactions=body.hash_transactions(),
+            hash_results=body.hash_results(),
+            hash_last_block=self.chain.head_digest(),
+        )
+        block = Block(header, body, consensus_proof=dict(decision.proof))
+        self.chain.append(block)
+        self.blocks_built += 1
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG,
+                ("header", number, header.to_record(),
+                 self._proof_record(decision)),
+                BlockHeader.WIRE_SIZE + 72 * len(decision.proof))
+        if self.storage is StorageMode.SYNC:
+            replica.store.sync(self._header_stable, block, decision,
+                               results_map, reconfig, done)
+        else:
+            self._header_stable(block, decision, results_map, reconfig, done)
+
+    def _header_stable(self, block: Block, decision: Decision,
+                       results_map: dict, reconfig: ReconfigOutcome | None,
+                       done) -> None:
+        if (self.variant is PersistenceVariant.STRONG
+                and self.storage is not StorageMode.MEMORY):
+            completion = (lambda: self._finish_block(block, decision,
+                                                     results_map, reconfig,
+                                                     done))
+            self._persist_block(block, completion)
+        else:
+            self._finish_block(block, decision, results_map, reconfig, done)
+
+    # ------------------------------------------------------------------
+    # PERSIST phase (strong variant)
+    # ------------------------------------------------------------------
+    def _persist_block(self, block: Block, completion) -> None:
+        """Run the PERSIST phase for ``block``; ``completion`` fires once the
+        certificate is assembled (or the wait times out — the block is then
+        re-certified later)."""
+        replica = self.replica
+        digest = block.digest()
+        self._persist_waits[block.number] = (digest, completion)
+        key = replica.consensus_key()
+
+        def signed() -> None:
+            if key.is_erased:
+                return  # a view change rotated keys under this queued job
+            signature = key.sign(digest)
+            msg = PersistMsg(block_number=block.number, header_digest=digest,
+                             replica_id=replica.id, signature=signature)
+            replica.broadcast_view(msg)
+
+        replica.charge_pool(replica.costs.crypto.sign_time, signed)
+        timeout = replica.config.persist_timeout
+        self._persist_timers[block.number] = replica.sim.schedule(
+            timeout, replica.guard(self._persist_timed_out), block.number)
+        self._check_persist_quorum(block.number)
+
+    def _persist_timed_out(self, number: int) -> None:
+        self._persist_timers.pop(number, None)
+        waiting = self._persist_waits.pop(number, None)
+        if waiting is None:
+            return
+        # Proceed uncertified; the block will be re-certified once the
+        # missing recorded keys land on the chain (repersist_missing).
+        self.certs_timed_out += 1
+        _digest, completion = waiting
+        self.replica.trace.emit(self.replica.sim.now, "persist-timeout",
+                                replica=self.replica.id, block=number)
+        completion()
+
+    def _on_persist(self, src: int, msg: PersistMsg) -> None:
+        replica = self.replica
+        if msg.signature is None:
+            return
+        public = replica.keydir.lookup(replica.cv.view_id, src)
+        if public is None:
+            return
+
+        def verified() -> None:
+            if not replica.registry.verify(public, msg.header_digest,
+                                           msg.signature):
+                return
+            votes = self._persist_votes.setdefault(msg.block_number, {})
+            votes[src] = (msg.header_digest, msg.signature)
+            self._check_persist_quorum(msg.block_number)
+            self._maybe_answer_persist(src, msg)
+
+        replica.charge_pool(replica.costs.crypto.verify_time, verified)
+
+    def _maybe_answer_persist(self, src: int, msg: PersistMsg) -> None:
+        """Help a lagging peer re-certify: if we hold the block it is trying
+        to persist (and are not waiting on it ourselves), send our own
+        signature directly to it."""
+        replica = self.replica
+        if src == replica.id or msg.reply:
+            return
+        if msg.block_number in self._persist_waits:
+            return
+        try:
+            block = self.chain.get(msg.block_number)
+        except LedgerError:
+            return
+        if block.digest() != msg.header_digest:
+            return
+        key = replica.consensus_key()
+
+        def signed() -> None:
+            if key.is_erased:
+                return
+            reply = PersistMsg(block_number=msg.block_number,
+                               header_digest=msg.header_digest,
+                               replica_id=replica.id,
+                               signature=key.sign(msg.header_digest),
+                               reply=True)
+            replica.send(src, reply)
+
+        replica.charge_pool(replica.costs.crypto.sign_time, signed)
+
+    def _check_persist_quorum(self, number: int) -> None:
+        waiting = self._persist_waits.get(number)
+        if waiting is None:
+            return
+        digest, completion = waiting
+        votes = self._persist_votes.get(number, {})
+        view = self.replica.cv
+        recorded = self.recorded_members.get(view.view_id, set())
+        matching = {rid: sig for rid, (d, sig) in votes.items()
+                    if d == digest and rid in recorded}
+        if len(matching) < view.cert_quorum:
+            return
+        del self._persist_waits[number]
+        timer = self._persist_timers.pop(number, None)
+        if timer is not None:
+            timer.cancel()
+        self._persist_votes.pop(number, None)
+        certificate = Certificate(number, digest, view.view_id)
+        for rid, signature in matching.items():
+            certificate.add(rid, signature)
+        try:
+            self.chain.get(number).certificate = certificate
+        except LedgerError:
+            pass  # block not held locally (cannot happen in practice)
+        self.certs_completed += 1
+        if self.storage is not StorageMode.MEMORY:
+            # Line 34: the certificate write is asynchronous — after a full
+            # crash the group can always recreate the same certificate.
+            self.replica.store.append(
+                self.LOG, ("cert", number, certificate.to_record()),
+                certificate.size_bytes())
+        self.replica.charge_sm(self.replica.costs.persist_handling, completion)
+
+    def repersist_missing(self, on_done: Callable[[], None] | None = None) -> None:
+        """Re-run the PERSIST phase for blocks lacking certificates (after a
+        full-crash recovery, or after a persist timeout once the missing
+        recorded keys landed on the chain)."""
+        missing = [b for b in self.chain
+                   if b.certificate is None
+                   and b.header.view_id == self.replica.cv.view_id
+                   and b.number not in self._persist_waits]
+
+        def step() -> None:
+            while missing and missing[0].certificate is not None:
+                missing.pop(0)
+            if not missing:
+                if on_done is not None:
+                    on_done()
+                return
+            block = missing.pop(0)
+            self._persist_block(block, step)
+
+        step()
+
+    # ------------------------------------------------------------------
+    # Block completion, replies, checkpoints
+    # ------------------------------------------------------------------
+    def _finish_block(self, block: Block, decision: Decision, results_map: dict,
+                      reconfig: ReconfigOutcome | None, done) -> None:
+        replica = self.replica
+        replica.send_replies(results_map, decision.batch,
+                             block_number=block.number)
+        replica.note_executed(decision)
+        if reconfig is not None and reconfig.new_view is not None:
+            self.last_reconfig = block.number
+            self.reconfig_blocks += 1
+            replica.install_view(reconfig.new_view)
+            if self.on_reconfiguration is not None:
+                self.on_reconfiguration(block, reconfig)
+        elif (block.body.key_announcements
+                and self.variant is PersistenceVariant.STRONG):
+            # Late key registrations may unblock earlier uncertified blocks.
+            replica.sim.call_soon(self.repersist_missing)
+        self._maybe_checkpoint(block.number, done)
+
+    def _maybe_checkpoint(self, number: int, done) -> None:
+        z = self.genesis.checkpoint_period
+        if z <= 0 or number % z != 0:
+            done()
+            return
+        # Lines 49-54: snapshot the service state outside the blockchain.
+        replica = self.replica
+        self.last_checkpoint = number
+        self.checkpoints_taken += 1
+        info = self._make_checkpoint_info(number, self.executed_cid)
+        self._checkpoints.append(info)
+        # Keep the initial checkpoint plus the last three generations.
+        if len(self._checkpoints) > 4:
+            self._checkpoints = self._checkpoints[:1] + self._checkpoints[-3:]
+        stall = info.nbytes / replica.costs.disk.snapshot_bandwidth_bytes
+        # The service is unavailable while the snapshot is written (the
+        # throughput dip of Figure 7); the pipeline resumes afterwards.
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.write_snapshot(self.SNAPSHOT, info, info.nbytes)
+        replica.charge_sm(stall, done)
+
+    # ------------------------------------------------------------------
+    # Special (reconfiguration / key registration) blocks — lines 37-48
+    # ------------------------------------------------------------------
+    def _process_special(self, decision: Decision, done) -> None:
+        replica = self.replica
+        if self.reconfig_handler is None:
+            self._process_regular(decision, done)
+            return
+        number = self.chain.height + 1
+        tx_records = [self._tx_record(r) for r in decision.batch]
+        body_bytes = decision.payload_bytes() + 64 + 72 * len(decision.proof)
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG, ("txs", number, decision.cid,
+                           tuple(t.to_record() for t in tx_records),
+                           decision.batch_hash),
+                body_bytes)
+        work = replica.costs.block_build_overhead + replica.costs.batch_overhead
+        replica.charge_sm(work, self._apply_special, decision, tx_records,
+                          number, done)
+
+    def _apply_special(self, decision: Decision, tx_records: list[TxRecord],
+                       number: int, done) -> None:
+        replica = self.replica
+        outcome = ReconfigOutcome(result=("error", "rejected"))
+        all_announcements: list[KeyAnnouncement] = []
+        for request in decision.batch:
+            handled = self.reconfig_handler(request)
+            if handled is not None:
+                outcome = handled
+                all_announcements.extend(handled.announcements)
+        # Deduplicate announcements (several remove votes may carry the same).
+        unique: dict[tuple[int, int], KeyAnnouncement] = {}
+        for ann in all_announcements:
+            unique[(ann.view_id, ann.replica_id)] = ann
+        announcements = list(unique.values())
+        for ann in announcements:
+            self.recorded_members.setdefault(ann.view_id, set()).add(
+                ann.replica_id)
+        results_map: dict = {}
+        result_records = []
+        for request in decision.batch:
+            if outcome.new_view is not None:
+                result = ("view", outcome.new_view.view_id,
+                          tuple(outcome.new_view.members))
+            else:
+                result = outcome.result
+            digest = hash_obj(("rc", request.client_id, request.req_id,
+                               repr(result)))
+            results_map[request.key] = (result, digest)
+            result_records.append((request.client_id, request.req_id,
+                                   repr(result), digest))
+        new_view_record = None
+        if outcome.new_view is not None:
+            new_view_record = (outcome.new_view.view_id,
+                               tuple(outcome.new_view.members),
+                               tuple(sorted(outcome.permanent_updates.items())))
+        body = BlockBody(
+            consensus_id=decision.cid,
+            transactions=tx_records,
+            results=result_records,
+            batch_hash=decision.batch_hash,
+            key_announcements=[a.to_record() for a in announcements],
+            new_view=new_view_record,
+        )
+        self.executed_cid = decision.cid
+        if self.storage is not StorageMode.MEMORY:
+            replica.store.append(
+                self.LOG, ("results", number, tuple(result_records)),
+                sum(len(r[2]) + 48 for r in result_records))
+            replica.store.append(
+                self.LOG,
+                ("special", number, tuple(a.to_record() for a in announcements),
+                 new_view_record),
+                96 * len(announcements) + 64)
+        self._close_block(number, body, decision, results_map, done,
+                          reconfig=outcome if outcome.new_view else None)
+
+    # ------------------------------------------------------------------
+    # Block replay (shared by recovery, state transfer, reconciliation)
+    # ------------------------------------------------------------------
+    def _replay_block(self, block: Block) -> None:
+        """Re-apply a block's effects to the service and chain metadata.
+
+        Reconfiguration blocks are applied from their recorded outcome (no
+        vote re-validation: the block's certificate/proof covers it).
+        """
+        body = block.body
+        for record in body.key_announcements:
+            ann = KeyAnnouncement.from_record(record)
+            self.recorded_members.setdefault(ann.view_id, set()).add(
+                ann.replica_id)
+        if body.new_view is not None:
+            view_id, members, permanent_updates = body.new_view
+            self.last_reconfig = block.number
+            if self.node is not None:
+                self.node.permanent_keys.update(dict(permanent_updates))
+            new_view = View(view_id, tuple(members))
+            if new_view.view_id > self.replica.cv.view_id:
+                self.replica.install_view(new_view)
+        else:
+            requests = [
+                ClientRequest(client_id=t.client_id, req_id=t.req_id,
+                              op=t.op, size=t.size, special=t.special)
+                for t in body.transactions
+            ]
+            if requests and not requests[0].special:
+                self.app.execute_batch(requests)
+        z = self.genesis.checkpoint_period
+        if z > 0 and block.number % z == 0:
+            self.last_checkpoint = block.number
+        self.executed_cid = body.consensus_id
+
+    # ------------------------------------------------------------------
+    # State transfer: checkpoint + blocks up to the agreed consensus id
+    # ------------------------------------------------------------------
+    def capture_state(self, up_to_cid: int | None = None) -> tuple[Any, int]:
+        target = self.executed_cid if up_to_cid is None else up_to_cid
+        info = self._checkpoint_for(target)
+        blocks = [b for b in self.chain.blocks(start=info.block_number + 1)
+                  if b.body.consensus_id <= target]
+        package = (target, self._checkpoint_record(info),
+                   tuple(b.to_record() for b in blocks))
+        nbytes = info.nbytes + sum(b.serialized_bytes() for b in blocks)
+        return package, nbytes
+
+    def _checkpoint_for(self, target_cid: int) -> CheckpointInfo:
+        """Newest retained checkpoint not newer than ``target_cid`` — the
+        same one every correct replica picks for the same target."""
+        candidates = [c for c in self._checkpoints
+                      if c.consensus_id <= target_cid
+                      and c.block_number >= self.chain.base_height]
+        if candidates:
+            return max(candidates, key=lambda c: c.block_number)
+        if self._checkpoints:
+            return self._checkpoints[0]
+        return self._make_checkpoint_info(0, -1)
+
+    @staticmethod
+    def _checkpoint_record(info: CheckpointInfo) -> tuple:
+        return (info.block_number, info.consensus_id, info.snapshot,
+                info.nbytes, info.view_id, info.members, info.permanent_keys,
+                info.recorded, info.last_reconfig, info.head_digest)
+
+    def install_state(self, package: Any) -> None:
+        _target, ckpt_record, block_records = package
+        (number, cid, snapshot, nbytes, view_id, members, permanent,
+         recorded, last_reconfig, head_digest) = ckpt_record
+        self.app.install_snapshot(snapshot)
+        self.executed_cid = cid
+        self.last_reconfig = last_reconfig
+        self.last_checkpoint = number if number > 0 else -1
+        self.recorded_members = {vid: set(m) for vid, m in recorded}
+        if self.node is not None:
+            self.node.permanent_keys.update(dict(permanent))
+        view = View(view_id, tuple(members))
+        if view.view_id > self.replica.cv.view_id:
+            self.replica.install_view(view)
+        self.chain = Blockchain.from_suffix(self.genesis, number, head_digest,
+                                            [])
+        for record in block_records:
+            block = Block.from_record(record)
+            self.chain.append(block)
+            self._replay_block(block)
+        self._checkpoints = [CheckpointInfo(
+            block_number=number, consensus_id=cid, snapshot=snapshot,
+            nbytes=nbytes, view_id=view_id, members=tuple(members),
+            permanent_keys=tuple(permanent), recorded=tuple(recorded),
+            last_reconfig=last_reconfig, head_digest=head_digest)]
+
+    def package_digest_material(self, package: Any) -> Any:
+        """Strip certificates and consensus proofs: any Byzantine-quorum
+        subset is valid, so correct replicas legitimately hold different
+        ones.  The hash comparison covers target, checkpoint, headers and
+        bodies only."""
+        target, ckpt_record, block_records = package
+        stripped = tuple((header, body) for header, body, _cert, _proof
+                         in block_records)
+        return (target, ckpt_record, stripped)
+
+    def install_cost(self, package: Any) -> float:
+        costs = self.replica.costs
+        replay_txs = sum(len(record[1][1]) for record in package[2])
+        return replay_txs * costs.replay_time_per_tx
+
+    def can_self_verify(self) -> bool:
+        """Strong-variant chains are self-verifiable (certificates)."""
+        return (self.variant is PersistenceVariant.STRONG
+                and self.storage is not StorageMode.MEMORY)
+
+    def verify_package(self, package: Any) -> bool:
+        """Check a state package offered by a single (untrusted) peer: every
+        block in the suffix must carry a valid certificate."""
+        try:
+            blocks = [Block.from_record(r) for r in package[2]]
+        except Exception:
+            return False
+        prev: Block | None = None
+        for block in blocks:
+            try:
+                block.validate_body()
+            except LedgerError:
+                return False
+            cert = block.certificate
+            if cert is None or cert.header_digest != block.digest():
+                return False
+            if prev is not None and block.header.hash_last_block != prev.digest():
+                return False
+            keys = self.replica.keydir.view_keys(block.header.view_id)
+            valid = sum(
+                1 for rid, sig in cert.signatures.items()
+                if keys.get(rid) and self.replica.registry.verify(
+                    keys[rid], cert.header_digest, sig))
+            n = len(keys)
+            f = (n - 1) // 3 if n else 0
+            quorum = max(2 * f + 1, (n + f + 1) // 2)
+            if n == 0 or valid < quorum:
+                return False
+            prev = block
+        return True
+
+    # ------------------------------------------------------------------
+    # Local recovery (after a recoverable crash)
+    # ------------------------------------------------------------------
+    def recover_local(self) -> int:
+        """Rebuild the chain and service state from the stable store."""
+        if self._flusher is not None:
+            self._flusher.start()
+        store = self.replica.store
+        entries = store.read_log(self.LOG)
+        txs: dict[int, tuple] = {}
+        results: dict[int, tuple] = {}
+        headers: dict[int, tuple] = {}
+        certs: dict[int, tuple] = {}
+        specials: dict[int, tuple] = {}
+        for entry in entries:
+            kind = entry[0]
+            if kind == "txs":
+                txs[entry[1]] = (entry[2], entry[3], entry[4])
+            elif kind == "results":
+                results[entry[1]] = entry[2]
+            elif kind == "header":
+                headers[entry[1]] = (entry[2], entry[3])
+            elif kind == "cert":
+                certs[entry[1]] = entry[2]
+            elif kind == "special":
+                specials[entry[1]] = (entry[2], entry[3])
+        self.chain = Blockchain(self.genesis)
+        self.recorded_members = {
+            0: {a.replica_id for a in self.genesis.key_announcements}}
+        number = 1
+        while number in headers and number in txs and number in results:
+            header = BlockHeader.from_record(headers[number][0])
+            cid, tx_records, batch_hash = txs[number]
+            body = BlockBody(
+                consensus_id=cid,
+                transactions=[TxRecord.from_record(t) for t in tx_records],
+                results=list(results[number]),
+                batch_hash=batch_hash,
+            )
+            if number in specials:
+                ann_records, new_view_record = specials[number]
+                body.key_announcements = list(ann_records)
+                body.new_view = new_view_record
+            if body.hash_transactions() != header.hash_transactions:
+                break
+            block = Block(header, body)
+            for rid, signer, value in headers[number][1]:
+                block.consensus_proof[rid] = Signature(signer, value)
+            if number in certs:
+                block.certificate = Certificate.from_record(certs[number])
+            try:
+                self.chain.append(block)
+            except LedgerError:
+                break
+            number += 1
+        # Service state: last stable snapshot plus replay of later blocks.
+        checkpoint = store.read_cell(self.SNAPSHOT)
+        replay_from = 1
+        if (isinstance(checkpoint, CheckpointInfo)
+                and checkpoint.block_number <= self.chain.height):
+            self.app.install_snapshot(checkpoint.snapshot)
+            self.last_checkpoint = checkpoint.block_number
+            self.last_reconfig = checkpoint.last_reconfig
+            self.executed_cid = checkpoint.consensus_id
+            self.recorded_members = {vid: set(m)
+                                     for vid, m in checkpoint.recorded}
+            self._checkpoints = [checkpoint]
+            replay_from = checkpoint.block_number + 1
+        for block in self.chain.blocks(start=replay_from):
+            self._replay_block(block)
+        if not self._checkpoints:
+            # Anchor a synthetic checkpoint at the recovered position, so
+            # state-transfer packages served by this replica pair a snapshot
+            # with only the blocks that come after it.
+            head = self.chain.head()
+            self._checkpoints = [self._make_checkpoint_info(
+                self.chain.height,
+                head.body.consensus_id if head is not None else -1)]
+        head = self.chain.head()
+        return head.body.consensus_id if head is not None else -1
+
+    def reconcile_local(self, supported_cid: int) -> int:
+        """Full-crash reconciliation: drop blocks above what the recovery
+        group supports (weak variant only — strong chains self-verify and
+        survive through any single holder)."""
+        if self.can_self_verify():
+            return self.replica.last_decided
+        keep = 0
+        for block in self.chain:
+            if block.body.consensus_id <= supported_cid:
+                keep = block.number
+        dropped = self.chain.truncate(keep)
+        if dropped:
+            self.replica.trace.emit(
+                self.replica.sim.now, "suffix-lost", replica=self.replica.id,
+                blocks=[b.number for b in dropped])
+            self._rebuild_service_state()
+        head = self.chain.head()
+        return head.body.consensus_id if head is not None else -1
+
+    def _rebuild_service_state(self) -> None:
+        store = self.replica.store
+        checkpoint = store.read_cell(self.SNAPSHOT)
+        replay_from = 1
+        if (isinstance(checkpoint, CheckpointInfo)
+                and checkpoint.block_number <= self.chain.height):
+            self.app.install_snapshot(checkpoint.snapshot)
+            self.executed_cid = checkpoint.consensus_id
+            replay_from = checkpoint.block_number + 1
+        else:
+            self.app.install_snapshot(self._empty_snapshot())
+            self.executed_cid = -1
+        for block in self.chain.blocks(start=replay_from):
+            self._replay_block(block)
+
+    def _empty_snapshot(self) -> Any:
+        try:
+            return type(self.app)().snapshot()[0]
+        except TypeError as exc:
+            raise LedgerError(
+                "application cannot be reset for suffix reconciliation"
+            ) from exc
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.chain = Blockchain(self.genesis)
+        self.last_reconfig = -1
+        self.last_checkpoint = -1
+        self.executed_cid = -1
+        self._persist_votes.clear()
+        self._persist_waits.clear()
+        for timer in self._persist_timers.values():
+            timer.cancel()
+        self._persist_timers.clear()
+        self.recorded_members = {
+            0: {a.replica_id for a in self.genesis.key_announcements}}
+        self._checkpoints = []
+        if self._flusher is not None:
+            self._flusher.stop()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tx_record(request: ClientRequest) -> TxRecord:
+        return TxRecord(client_id=request.client_id, req_id=request.req_id,
+                        op=request.op, size=request.size,
+                        special=request.special)
+
+    @staticmethod
+    def _proof_record(decision: Decision) -> tuple:
+        return tuple(sorted((rid, s.signer, s.value)
+                            for rid, s in decision.proof.items()))
+
+    def chain_records(self) -> list[tuple]:
+        """Serialized chain as a third-party verifier consumes it."""
+        return self.chain.to_records()

@@ -1,0 +1,78 @@
+"""Blockchain persistence levels and the PERSIST phase message.
+
+Section V-C of the paper classifies durability by how many trailing blocks
+may be lost after a full crash:
+
+- **0-Persistence** — perfect durability (the strong variant with the
+  PERSIST phase): once a block is written it is immutable;
+- **1-Persistence** — external durability (the weak variant, plain
+  BFT-SMART): only blocks whose replies a client saw from a quorum are
+  guaranteed, i.e. only the second-to-last block is immutable;
+- **α-Persistence** — α consensus instances run in parallel (α = 1 here);
+- **λ-Persistence** — asynchronous writes: a small environment-dependent
+  suffix can be lost;
+- **6-Persistence** — Bitcoin's probabilistic finality;
+- **∞-Persistence** — memory only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config import PersistenceVariant, StorageMode
+from repro.crypto.keys import Signature
+from repro.net.message import Message
+
+__all__ = ["PersistenceLevel", "persistence_level_of", "PersistMsg"]
+
+
+class PersistenceLevel(enum.Enum):
+    """How many trailing blocks a full crash may cost."""
+
+    ZERO = "0-persistence"
+    ONE = "1-persistence"
+    ALPHA = "alpha-persistence"
+    LAMBDA = "lambda-persistence"
+    SIX = "6-persistence"
+    INFINITE = "infinite-persistence"
+
+    @property
+    def max_lost_blocks(self) -> float:
+        return {
+            PersistenceLevel.ZERO: 0,
+            PersistenceLevel.ONE: 1,
+            PersistenceLevel.ALPHA: 1,
+            PersistenceLevel.SIX: 6,
+            PersistenceLevel.LAMBDA: float("nan"),
+            PersistenceLevel.INFINITE: float("inf"),
+        }[self]
+
+
+def persistence_level_of(variant: PersistenceVariant,
+                         storage: StorageMode) -> PersistenceLevel:
+    """The level a SMARTCHAIN configuration provides (Section V-C)."""
+    if storage is StorageMode.MEMORY:
+        return PersistenceLevel.INFINITE
+    if storage is StorageMode.ASYNC:
+        return PersistenceLevel.LAMBDA
+    if variant is PersistenceVariant.STRONG:
+        return PersistenceLevel.ZERO
+    return PersistenceLevel.ONE
+
+
+@dataclass
+class PersistMsg(Message):
+    """PERSIST phase: a replica's signature over a block header digest.
+
+    Broadcast after the header and body are on stable media; a quorum of
+    these forms the block certificate (Algorithm 1, lines 31-36)."""
+
+    block_number: int = 0
+    header_digest: bytes = b""
+    replica_id: int = -1
+    signature: Signature | None = None
+    #: True for a direct answer to another replica's (re-)persist request;
+    #: answers are never answered again (prevents echo loops).
+    reply: bool = False
+    size: int = field(default=48 + 32 + Signature.WIRE_SIZE, kw_only=True)

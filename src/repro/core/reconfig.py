@@ -1,0 +1,393 @@
+"""Decentralized reconfiguration (Section V-D).
+
+No trusted View Manager: nodes join and leave autonomously, gated by an
+application-specific policy, and the *forgetting protocol* rotates consensus
+keys on every view change so removed-and-later-compromised members cannot
+fork the chain (Figure 4's attack).
+
+Protocol shapes (Figure 5):
+
+- **Join**: the candidate asks every current member; each member applies the
+  policy and answers with a signed vote that carries its *new consensus
+  public key for the next view* (certified by its permanent key).  With
+  votes from ``cv.n − cv.f`` members the candidate assembles a certificate
+  and submits a ``join`` transaction through the ordering protocol.  The
+  resulting reconfiguration block records the new view and the collected
+  key announcements; the joiner then runs state transfer and activates.
+- **Leave**: symmetric — the leaver collects next-view key announcements
+  from a quorum and submits a ``leave`` transaction.
+- **Exclude**: each member independently submits a ``remove`` transaction
+  (with its next-view key); once ``cv.n − cv.f`` distinct members' votes are
+  ordered, the exclusion takes effect.  Remove votes batch together.
+- **Late key registration**: members whose keys were not collected publish
+  them in-band; they are recorded on-chain via ``keyreg`` transactions so
+  third-party verifiers can count their certificate signatures.
+
+All decisions made by :meth:`ReconfigManager.handle_special` are
+deterministic functions of the ordered transaction and the current view, so
+every correct replica derives the same new view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.hashing import hash_obj
+from repro.crypto.keys import Signature
+from repro.core.blockchain_layer import ReconfigOutcome, SmartChainDelivery
+from repro.ledger.block import Block, KeyAnnouncement
+from repro.net.message import Message
+from repro.smr.requests import ClientRequest
+from repro.smr.views import View
+
+__all__ = ["ReconfigAskMsg", "ReconfigVoteMsg", "ReconfigManager",
+           "accept_all_policy"]
+
+
+@dataclass
+class ReconfigAskMsg(Message):
+    """Candidate → members: request permission to join (or announce leave)."""
+
+    kind: str = "join"
+    node_id: int = -1
+    permanent_public: str = ""
+    credentials: Any = None
+    size: int = field(default=160, kw_only=True)
+
+
+@dataclass
+class ReconfigVoteMsg(Message):
+    """Member → candidate: signed vote carrying the member's next-view key."""
+
+    kind: str = "join"
+    node_id: int = -1
+    voter: int = -1
+    accept: bool = False
+    next_view_id: int = -1
+    announcement: tuple | None = None      # KeyAnnouncement record
+    vote_signature: Signature | None = None
+    size: int = field(default=96 + 96 + Signature.WIRE_SIZE, kw_only=True)
+
+
+def vote_payload(kind: str, node_id: int, next_view_id: int,
+                 announcement: tuple | None) -> bytes:
+    return hash_obj(("reconfig-vote", kind, node_id, next_view_id,
+                     announcement))
+
+
+def accept_all_policy(kind: str, node_id: int, credentials: Any) -> bool:
+    """Default policy: everyone may join/leave (tests override this)."""
+    return True
+
+
+class ReconfigManager:
+    """Drives reconfigurations for one SMARTCHAIN node."""
+
+    def __init__(self, node, policy: Callable[[str, int, Any], bool] | None = None):
+        self.node = node
+        self.policy = policy or accept_all_policy
+        replica = node.replica
+        self.replica = replica
+        self.delivery: SmartChainDelivery = node.delivery
+        replica.register_handler(ReconfigAskMsg, self._on_ask)
+        replica.register_handler(ReconfigVoteMsg, self._on_vote)
+        self.delivery.reconfig_handler = self.handle_special
+        self.delivery.on_reconfiguration = self._on_reconfig_block
+        #: Votes collected by this node as a join/leave candidate.
+        self._collected: dict[tuple[str, int], dict[int, tuple]] = {}
+        self._collecting: dict[tuple[str, int], Callable[[Any], None]] = {}
+        self._grace_timers: dict[tuple[str, int], Any] = {}
+        #: Exclusion tally (deterministic, fed by ordered transactions).
+        self._remove_tally: dict[int, dict[int, tuple]] = {}
+        # Statistics.
+        self.votes_cast = 0
+        self.reconfigs_applied = 0
+
+    # ==================================================================
+    # Candidate side: ask → collect votes → submit transaction
+    # ==================================================================
+    def request_join(self, credentials: Any = None,
+                     on_done: Callable[[Any], None] | None = None) -> None:
+        self._request_membership_change("join", credentials, on_done)
+
+    def request_leave(self, on_done: Callable[[Any], None] | None = None) -> None:
+        self._request_membership_change("leave", None, on_done)
+
+    def _request_membership_change(self, kind: str, credentials: Any,
+                                   on_done) -> None:
+        replica = self.replica
+        key = (kind, replica.id)
+        self._collected[key] = {}
+        self._collecting[key] = on_done or (lambda _result: None)
+        if kind == "leave":
+            # The leaver trivially endorses its own departure: its vote
+            # (with its next-view key, which fellow members need) counts
+            # toward the n-f quorum.
+            next_view_id = replica.cv.view_id + 1
+            announcement = self._my_announcement(next_view_id).to_record()
+            payload = vote_payload(kind, replica.id, next_view_id,
+                                   announcement)
+            self._collected[key][replica.id] = (
+                announcement, replica.permanent_key.sign(payload))
+        ask = ReconfigAskMsg(kind=kind, node_id=replica.id,
+                             permanent_public=replica.permanent_key.public,
+                             credentials=credentials)
+        targets = [m for m in replica.cv.members if m != replica.id]
+        replica.net.broadcast(replica.id, targets, ask)
+
+    def vote_exclude(self, target: int) -> None:
+        """Submit this node's vote to remove ``target`` from the consortium."""
+        replica = self.replica
+        next_view_id = replica.cv.view_id + 1
+        announcement = self._my_announcement(next_view_id)
+        op = ("remove", target, replica.id, announcement.to_record())
+        self.node.submit_system_request(op, special="remove")
+
+    # ==================================================================
+    # Member side: policy vote
+    # ==================================================================
+    def _on_ask(self, src: int, msg: ReconfigAskMsg) -> None:
+        replica = self.replica
+        if not replica.active:
+            return
+        accept = True
+        if msg.kind == "join":
+            accept = bool(self.policy(msg.kind, msg.node_id, msg.credentials))
+        next_view_id = replica.cv.view_id + 1
+        announcement = self._my_announcement(next_view_id) if accept else None
+        ann_record = announcement.to_record() if announcement else None
+        signature = None
+        if accept:
+            payload = vote_payload(msg.kind, msg.node_id, next_view_id,
+                                   ann_record)
+            signature = replica.permanent_key.sign(payload)
+            self.votes_cast += 1
+        replica.send(src, ReconfigVoteMsg(
+            kind=msg.kind, node_id=msg.node_id, voter=replica.id,
+            accept=accept, next_view_id=next_view_id,
+            announcement=ann_record, vote_signature=signature))
+
+    #: After the vote quorum (n−f) is reached, wait this long for the
+    #: remaining members' votes so that *all* correct members' next-view
+    #: keys get recorded in the reconfiguration block (the n−f bound is the
+    #: guaranteed minimum, not a target — Section V-D).
+    VOTE_GRACE = 0.05
+
+    def _on_vote(self, src: int, msg: ReconfigVoteMsg) -> None:
+        replica = self.replica
+        key = (msg.kind, msg.node_id)
+        if msg.node_id != replica.id or key not in self._collecting:
+            return
+        if not msg.accept or msg.vote_signature is None:
+            return
+        if msg.next_view_id != replica.cv.view_id + 1:
+            return  # stale vote for a different reconfiguration epoch
+        votes = self._collected.setdefault(key, {})
+        votes[msg.voter] = (msg.announcement, msg.vote_signature)
+        needed = replica.cv.n - replica.cv.f
+        everyone = len([m for m in replica.cv.members if m != replica.id])
+        if len(votes) >= everyone:
+            self._submit_membership_change(key, msg.kind, msg.next_view_id)
+        elif len(votes) >= needed and key not in self._grace_timers:
+            self._grace_timers[key] = replica.sim.schedule(
+                self.VOTE_GRACE, replica.guard(self._submit_membership_change),
+                key, msg.kind, msg.next_view_id)
+
+    def _submit_membership_change(self, key: tuple[str, int], kind: str,
+                                  next_view_id: int) -> None:
+        replica = self.replica
+        timer = self._grace_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        on_done = self._collecting.pop(key, None)
+        if on_done is None:
+            return  # already submitted
+        votes = self._collected.get(key, {})
+        vote_records = tuple(
+            sorted((voter, ann, sig.signer, sig.value)
+                   for voter, (ann, sig) in votes.items()))
+        if kind == "join":
+            my_ann = self._my_announcement(next_view_id).to_record()
+            op = ("join", replica.id, replica.permanent_key.public,
+                  my_ann, vote_records)
+        else:
+            op = ("leave", replica.id, vote_records)
+        self.node.submit_system_request(op, special=kind, on_reply=on_done)
+
+    def _my_announcement(self, view_id: int) -> KeyAnnouncement:
+        replica = self.replica
+        key = replica.ensure_consensus_key(view_id)
+        payload = hash_obj(("keyann", view_id, replica.id, key.public))
+        return KeyAnnouncement(view_id, replica.id, key.public,
+                               replica.permanent_key.sign(payload))
+
+    # ==================================================================
+    # Ordered transaction handler (deterministic; runs at every replica)
+    # ==================================================================
+    def handle_special(self, request: ClientRequest) -> ReconfigOutcome | None:
+        kind = request.special
+        if kind == "join":
+            return self._handle_join(request)
+        if kind == "leave":
+            return self._handle_leave(request)
+        if kind == "remove":
+            return self._handle_remove(request)
+        if kind == "keyreg":
+            return self._handle_keyreg(request)
+        return None
+
+    def _handle_join(self, request: ClientRequest) -> ReconfigOutcome:
+        replica = self.replica
+        cv = replica.cv
+        _, node_id, permanent_public, joiner_ann, vote_records = request.op
+        if cv.contains(node_id):
+            return ReconfigOutcome(result=("error", "already a member"))
+        next_view_id = cv.view_id + 1
+        valid_votes = self._validate_votes("join", node_id, next_view_id,
+                                           vote_records)
+        if len(valid_votes) < cv.n - cv.f:
+            return ReconfigOutcome(result=("error", "insufficient votes"))
+        joiner = self._validate_announcement(joiner_ann, next_view_id,
+                                             node_id, permanent_public)
+        if joiner is None:
+            return ReconfigOutcome(result=("error", "bad joiner key"))
+        new_view = cv.with_member(node_id)
+        announcements = [ann for _voter, ann in valid_votes] + [joiner]
+        self.reconfigs_applied += 1
+        return ReconfigOutcome(
+            new_view=new_view,
+            announcements=announcements,
+            permanent_updates={node_id: permanent_public},
+            result=("view", new_view.view_id, tuple(new_view.members)),
+        )
+
+    def _handle_leave(self, request: ClientRequest) -> ReconfigOutcome:
+        replica = self.replica
+        cv = replica.cv
+        _, node_id, vote_records = request.op
+        if not cv.contains(node_id):
+            return ReconfigOutcome(result=("error", "not a member"))
+        next_view_id = cv.view_id + 1
+        valid_votes = self._validate_votes("leave", node_id, next_view_id,
+                                           vote_records)
+        if len(valid_votes) < cv.n - cv.f:
+            return ReconfigOutcome(result=("error", "insufficient votes"))
+        new_view = cv.without_member(node_id)
+        announcements = [ann for voter, ann in valid_votes
+                         if voter != node_id]
+        self.reconfigs_applied += 1
+        return ReconfigOutcome(
+            new_view=new_view,
+            announcements=announcements,
+            result=("view", new_view.view_id, tuple(new_view.members)),
+        )
+
+    def _handle_remove(self, request: ClientRequest) -> ReconfigOutcome:
+        replica = self.replica
+        cv = replica.cv
+        _, target, sender, ann_record = request.op
+        if not cv.contains(target):
+            return ReconfigOutcome(result=("error", "target not a member"))
+        if not cv.contains(sender) or sender == target:
+            return ReconfigOutcome(result=("error", "invalid remove vote"))
+        next_view_id = cv.view_id + 1
+        announcement = self._validate_announcement(
+            ann_record, next_view_id, sender, None)
+        if announcement is None:
+            return ReconfigOutcome(result=("error", "bad announcement"))
+        tally = self._remove_tally.setdefault(target, {})
+        tally[sender] = ann_record
+        if len(tally) < cv.n - cv.f:
+            return ReconfigOutcome(
+                result=("pending", len(tally), cv.n - cv.f))
+        new_view = cv.without_member(target)
+        announcements = []
+        for voter, record in sorted(tally.items()):
+            ann = self._validate_announcement(record, next_view_id, voter, None)
+            if ann is not None:
+                announcements.append(ann)
+        del self._remove_tally[target]
+        self.reconfigs_applied += 1
+        return ReconfigOutcome(
+            new_view=new_view,
+            announcements=announcements,
+            result=("view", new_view.view_id, tuple(new_view.members)),
+        )
+
+    def _handle_keyreg(self, request: ClientRequest) -> ReconfigOutcome:
+        replica = self.replica
+        _, ann_record = request.op
+        announcement = self._validate_announcement(
+            ann_record, replica.cv.view_id, None, None)
+        if announcement is None:
+            return ReconfigOutcome(result=("error", "bad key registration"))
+        return ReconfigOutcome(result=("registered", announcement.replica_id),
+                               announcements=[announcement])
+
+    # ==================================================================
+    # Validation helpers (pure functions of chain state)
+    # ==================================================================
+    def _validate_votes(self, kind: str, node_id: int, next_view_id: int,
+                        vote_records: tuple) -> list[tuple[int, KeyAnnouncement]]:
+        replica = self.replica
+        cv = replica.cv
+        permanent = self.node.permanent_keys
+        valid: list[tuple[int, KeyAnnouncement]] = []
+        seen: set[int] = set()
+        for voter, ann_record, signer, value in vote_records:
+            if voter in seen or not cv.contains(voter):
+                continue
+            voter_key = permanent.get(voter)
+            if voter_key is None or signer != voter_key:
+                continue
+            payload = vote_payload(kind, node_id, next_view_id, ann_record)
+            if not replica.registry.verify(voter_key, payload,
+                                           Signature(signer, value)):
+                continue
+            announcement = self._validate_announcement(
+                ann_record, next_view_id, voter, None)
+            if announcement is None:
+                continue
+            seen.add(voter)
+            valid.append((voter, announcement))
+        return valid
+
+    def _validate_announcement(self, record: tuple | None, view_id: int,
+                               expected_owner: int | None,
+                               owner_permanent: str | None) -> KeyAnnouncement | None:
+        if record is None:
+            return None
+        try:
+            announcement = KeyAnnouncement.from_record(record)
+        except (TypeError, ValueError):
+            return None
+        if announcement.view_id != view_id:
+            return None
+        if expected_owner is not None and announcement.replica_id != expected_owner:
+            return None
+        permanent = owner_permanent or self.node.permanent_keys.get(
+            announcement.replica_id)
+        if permanent is None:
+            return None
+        if not self.replica.registry.verify(permanent, announcement.payload(),
+                                            announcement.signature):
+            return None
+        return announcement
+
+    # ==================================================================
+    # Post-reconfiguration hook
+    # ==================================================================
+    def _on_reconfig_block(self, block: Block, outcome: ReconfigOutcome) -> None:
+        replica = self.replica
+        self.node.permanent_keys.update(outcome.permanent_updates)
+        recorded = {a.replica_id for a in outcome.announcements}
+        new_view: View = outcome.new_view
+        self.node.on_view_change(block, new_view)
+        if (replica.active and new_view.contains(replica.id)
+                and replica.id not in recorded):
+            # My next-view key was not collected: register it on-chain so
+            # third-party verifiers can count my certificate signatures.
+            announcement = self._my_announcement(new_view.view_id)
+            self.node.submit_system_request(
+                ("keyreg", announcement.to_record()), special="keyreg")

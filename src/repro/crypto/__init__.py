@@ -1,0 +1,26 @@
+"""Cryptographic substrate: simulated signatures, hashing, Merkle trees."""
+
+from repro.crypto.hashing import (
+    EMPTY_DIGEST,
+    canonical_bytes,
+    digest,
+    digest_hex,
+    hash_obj,
+)
+from repro.crypto.keys import CryptoCosts, KeyPair, KeyRegistry, Signature
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root
+
+__all__ = [
+    "EMPTY_DIGEST",
+    "canonical_bytes",
+    "digest",
+    "digest_hex",
+    "hash_obj",
+    "CryptoCosts",
+    "KeyPair",
+    "KeyRegistry",
+    "Signature",
+    "MerkleProof",
+    "MerkleTree",
+    "merkle_root",
+]

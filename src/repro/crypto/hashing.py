@@ -1,0 +1,81 @@
+"""Cryptographic hashing and canonical serialization.
+
+All hash-chaining in the ledger uses real SHA-256 over a canonical byte
+encoding, so tamper-detection in tests is genuine: flipping any bit of a
+stored block changes its digest and breaks the chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+from repro.errors import CryptoError
+
+__all__ = ["digest", "digest_hex", "canonical_bytes", "hash_obj", "EMPTY_DIGEST"]
+
+
+def digest(data: bytes) -> bytes:
+    """SHA-256 digest of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+#: Digest of the empty byte string — used as ``hash(∅)`` for the genesis
+#: block's previous-hash field (Algorithm 1, line 6).
+EMPTY_DIGEST = digest(b"")
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministically encode nested Python values to bytes.
+
+    Supports ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes`` and
+    (nested) tuples, lists and dicts with sortable keys.  The encoding is
+    type-tagged and length-prefixed, so distinct values never collide
+    structurally (e.g. ``["ab"]`` vs ``["a", "b"]``).
+    """
+    out = bytearray()
+    _encode(obj, out)
+    return bytes(out)
+
+
+def _encode(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"T"
+    elif obj is False:
+        out += b"F"
+    elif isinstance(obj, int):
+        body = str(obj).encode()
+        out += b"I" + struct.pack(">I", len(body)) + body
+    elif isinstance(obj, float):
+        out += b"D" + struct.pack(">d", obj)
+    elif isinstance(obj, str):
+        body = obj.encode("utf-8")
+        out += b"S" + struct.pack(">I", len(body)) + body
+    elif isinstance(obj, bytes):
+        out += b"B" + struct.pack(">I", len(obj)) + obj
+    elif isinstance(obj, (tuple, list)):
+        out += b"L" + struct.pack(">I", len(obj))
+        for item in obj:
+            _encode(item, out)
+    elif isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: canonical_bytes(kv[0]))
+        out += b"M" + struct.pack(">I", len(items))
+        for key, value in items:
+            _encode(key, out)
+            _encode(value, out)
+    elif hasattr(obj, "to_canonical"):
+        _encode(obj.to_canonical(), out)
+    else:
+        raise CryptoError(f"cannot canonically encode {type(obj).__name__}")
+
+
+def hash_obj(obj: Any) -> bytes:
+    """SHA-256 over the canonical encoding of ``obj``."""
+    return digest(canonical_bytes(obj))

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the SmartChain reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the simulator can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. negative delay)."""
+
+
+class NetworkError(ReproError):
+    """Invalid network operation (unknown endpoint, duplicate registration)."""
+
+
+class StorageError(ReproError):
+    """Invalid stable-storage operation (e.g. reading past the stable frontier)."""
+
+
+class CryptoError(ReproError):
+    """Signature creation/verification failure or use of an erased key."""
+
+
+class ConsensusError(ReproError):
+    """Protocol violation detected inside a consensus instance."""
+
+
+class ViewError(ReproError):
+    """Invalid view or reconfiguration request."""
+
+
+class LedgerError(ReproError):
+    """Malformed block or chain (also used by the third-party verifier)."""
+
+
+class VerificationError(LedgerError):
+    """A block or chain failed third-party verification."""
+
+
+class ApplicationError(ReproError):
+    """A deterministic application rejected a transaction at the API level.
+
+    Note that *invalid transactions* (e.g. double spends) are not errors at
+    the replication level: they execute deterministically to a failure
+    result that is recorded in the block.  This exception is only for
+    misuse of application objects themselves.
+    """

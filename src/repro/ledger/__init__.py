@@ -1,0 +1,27 @@
+"""Blockchain data structures and third-party verification."""
+
+from repro.ledger.block import (
+    Block,
+    BlockBody,
+    BlockHeader,
+    Certificate,
+    KeyAnnouncement,
+    TxRecord,
+)
+from repro.ledger.chain import Blockchain
+from repro.ledger.genesis import GenesisBlock
+from repro.ledger.verifier import ChainVerifier, ForkEvidence, VerificationReport
+
+__all__ = [
+    "Block",
+    "BlockBody",
+    "BlockHeader",
+    "Certificate",
+    "KeyAnnouncement",
+    "TxRecord",
+    "Blockchain",
+    "GenesisBlock",
+    "ChainVerifier",
+    "ForkEvidence",
+    "VerificationReport",
+]

@@ -1,0 +1,263 @@
+"""Blocks: header, body, certificate (Figure 2 of the paper).
+
+A block has three parts:
+
+- **header** — block number, number of the block with the last
+  reconfiguration, number of the block with the last checkpoint, hashes of
+  the transaction batch, of the execution results and of the previous block;
+- **body** — the consensus instance id, the ordered transactions and the
+  result of each one (the paper's auditability requirement);
+- **certificate** — ⌈(n+f+1)/2⌉ signatures of the header by distinct
+  replicas of the view, created by the PERSIST phase in the strong variant.
+
+Every structure serializes to plain tuples (``to_record``) so blocks can be
+written to the stable store and re-parsed by a third-party verifier that
+shares no objects with the replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import hash_obj
+from repro.crypto.merkle import MerkleTree, merkle_root
+from repro.crypto.keys import Signature
+from repro.errors import LedgerError
+
+__all__ = [
+    "BlockHeader",
+    "BlockBody",
+    "Certificate",
+    "KeyAnnouncement",
+    "Block",
+    "TxRecord",
+]
+
+
+@dataclass(frozen=True)
+class TxRecord:
+    """A transaction as stored in a block body.
+
+    ``op`` is the application payload itself (tuples of primitives), so a
+    recovering replica can re-execute logged transactions, and an auditor
+    can inspect them.
+    """
+
+    client_id: int
+    req_id: int
+    op: Any
+    size: int
+    special: str = ""
+
+    def to_record(self) -> tuple:
+        return (self.client_id, self.req_id, self.op, self.size, self.special)
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "TxRecord":
+        return cls(*record)
+
+    def to_canonical(self) -> tuple:
+        return ("tx", self.client_id, self.req_id, self.op, self.size,
+                self.special)
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Block metadata (Figure 2, top)."""
+
+    number: int
+    last_reconfig: int
+    last_checkpoint: int
+    view_id: int
+    hash_transactions: bytes
+    hash_results: bytes
+    hash_last_block: bytes
+
+    def digest(self) -> bytes:
+        return hash_obj(self.to_canonical())
+
+    def to_canonical(self) -> tuple:
+        return ("hdr", self.number, self.last_reconfig, self.last_checkpoint,
+                self.view_id, self.hash_transactions, self.hash_results,
+                self.hash_last_block)
+
+    def to_record(self) -> tuple:
+        return (self.number, self.last_reconfig, self.last_checkpoint,
+                self.view_id, self.hash_transactions, self.hash_results,
+                self.hash_last_block)
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "BlockHeader":
+        return cls(*record)
+
+    #: Serialized header size (3 ints + view + 3 SHA-256 digests + framing).
+    WIRE_SIZE = 144
+
+
+@dataclass
+class BlockBody:
+    """Ordered transactions and their results for one consensus instance."""
+
+    consensus_id: int
+    transactions: list[TxRecord]
+    results: list[tuple]          # (client_id, req_id, result_repr, digest)
+    #: The batch hash the consensus instance decided on (what the decision
+    #: proof's ACCEPT signatures cover) — lets a third party check the proof.
+    batch_hash: bytes = b""
+    #: Certified consensus-key announcements carried by this block: either a
+    #: reconfiguration's collected keys or late registrations (see
+    #: repro.core.reconfig).
+    key_announcements: list[tuple] = field(default_factory=list)
+    #: For reconfiguration blocks: the new view as (view_id, members,
+    #: permanent key map); None for ordinary blocks.
+    new_view: tuple | None = None
+
+    def hash_transactions(self) -> bytes:
+        """Merkle root over the transactions (footnote 4 of the paper): a
+        light client can check one transaction against the header."""
+        return merkle_root([tx.to_canonical() for tx in self.transactions])
+
+    def hash_results(self) -> bytes:
+        """Merkle root over the execution results."""
+        return merkle_root(list(self.results))
+
+    def transaction_proof(self, index: int):
+        """Membership proof of transaction ``index`` against the header's
+        ``hash_transactions`` root."""
+        tree = MerkleTree([tx.to_canonical() for tx in self.transactions])
+        return tree.proof(index)
+
+    def result_proof(self, index: int):
+        """Membership proof of result ``index`` against ``hash_results``."""
+        return MerkleTree(list(self.results)).proof(index)
+
+    def payload_bytes(self) -> int:
+        tx_bytes = sum(tx.size for tx in self.transactions)
+        result_bytes = sum(len(r[2]) + 48 for r in self.results)
+        return tx_bytes + result_bytes + 96 * len(self.key_announcements) + 64
+
+    def to_record(self) -> tuple:
+        return (self.consensus_id,
+                tuple(tx.to_record() for tx in self.transactions),
+                tuple(self.results),
+                self.batch_hash,
+                tuple(self.key_announcements),
+                self.new_view)
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "BlockBody":
+        cid, txs, results, batch_hash, announcements, new_view = record
+        return cls(cid, [TxRecord.from_record(t) for t in txs],
+                   list(results), batch_hash, list(announcements), new_view)
+
+
+@dataclass(frozen=True)
+class KeyAnnouncement:
+    """A consensus public key certified by its owner's permanent key.
+
+    ``signature`` covers (view_id, replica_id, consensus_public) and is made
+    with the replica's *permanent* key, binding the rotating consensus key to
+    the member identity recorded on the chain.
+    """
+
+    view_id: int
+    replica_id: int
+    consensus_public: str
+    signature: Signature
+
+    def payload(self) -> bytes:
+        return hash_obj(("keyann", self.view_id, self.replica_id,
+                         self.consensus_public))
+
+    def to_record(self) -> tuple:
+        return (self.view_id, self.replica_id, self.consensus_public,
+                self.signature.signer, self.signature.value)
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "KeyAnnouncement":
+        view_id, replica_id, public, signer, value = record
+        return cls(view_id, replica_id, public, Signature(signer, value))
+
+
+@dataclass
+class Certificate:
+    """Quorum of header signatures: the proof a Byzantine quorum persisted
+    the block (0-Persistence).  ``signatures`` maps replica id -> signature
+    over the header digest, made with the view's consensus keys."""
+
+    block_number: int
+    header_digest: bytes
+    view_id: int
+    signatures: dict[int, Signature] = field(default_factory=dict)
+
+    def add(self, replica_id: int, signature: Signature) -> None:
+        self.signatures[replica_id] = signature
+
+    def size_bytes(self) -> int:
+        return 48 + Signature.WIRE_SIZE * len(self.signatures)
+
+    def to_record(self) -> tuple:
+        return (self.block_number, self.header_digest, self.view_id,
+                tuple(sorted((rid, s.signer, s.value)
+                             for rid, s in self.signatures.items())))
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "Certificate":
+        number, digest, view_id, sigs = record
+        cert = cls(number, digest, view_id)
+        for rid, signer, value in sigs:
+            cert.signatures[rid] = Signature(signer, value)
+        return cert
+
+
+@dataclass
+class Block:
+    """A complete block.  ``certificate`` is None until the PERSIST phase
+    completes (weak-variant blocks carry the consensus decision proof in
+    ``consensus_proof`` instead)."""
+
+    header: BlockHeader
+    body: BlockBody
+    certificate: Certificate | None = None
+    #: Consensus decision proof: replica id -> signature over
+    #: (cid, batch hash) — self-verifiable evidence of the ordering.
+    consensus_proof: dict[int, Signature] = field(default_factory=dict)
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    def digest(self) -> bytes:
+        return self.header.digest()
+
+    def validate_body(self) -> None:
+        """Check the header commits to this body; raise on mismatch."""
+        if self.body.hash_transactions() != self.header.hash_transactions:
+            raise LedgerError(f"block {self.number}: transaction hash mismatch")
+        if self.body.hash_results() != self.header.hash_results:
+            raise LedgerError(f"block {self.number}: results hash mismatch")
+
+    def serialized_bytes(self) -> int:
+        total = BlockHeader.WIRE_SIZE + self.body.payload_bytes()
+        if self.certificate is not None:
+            total += self.certificate.size_bytes()
+        total += Signature.WIRE_SIZE * len(self.consensus_proof)
+        return total
+
+    def to_record(self) -> tuple:
+        proof = tuple(sorted((rid, s.signer, s.value)
+                             for rid, s in self.consensus_proof.items()))
+        cert = self.certificate.to_record() if self.certificate else None
+        return (self.header.to_record(), self.body.to_record(), cert, proof)
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "Block":
+        header_rec, body_rec, cert_rec, proof_rec = record
+        block = cls(BlockHeader.from_record(header_rec),
+                    BlockBody.from_record(body_rec))
+        if cert_rec is not None:
+            block.certificate = Certificate.from_record(cert_rec)
+        for rid, signer, value in proof_rec:
+            block.consensus_proof[rid] = Signature(signer, value)
+        return block

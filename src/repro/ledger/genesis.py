@@ -1,0 +1,89 @@
+"""The genesis block: the trust anchor of a SMARTCHAIN deployment.
+
+The genesis block records (Section V-B2/V-B4):
+
+- the initial consortium ``vinit``: member ids and their *permanent* public
+  keys (how the verifier learns who may vouch for what);
+- the initial consensus public keys (view 0's certified key announcements);
+- the checkpoint period ``z`` (Section V-B3: defined in the genesis block);
+- application setup data (e.g. SMaRtCoin's authorized minter addresses).
+
+Everything a third party needs to verify the whole chain starts here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import EMPTY_DIGEST, hash_obj
+from repro.errors import LedgerError
+from repro.ledger.block import KeyAnnouncement
+from repro.smr.views import View
+
+__all__ = ["GenesisBlock"]
+
+
+@dataclass
+class GenesisBlock:
+    """Block 0 of every SMARTCHAIN."""
+
+    view: View
+    #: member id -> permanent public key
+    permanent_keys: dict[int, str]
+    #: certified consensus keys for view 0
+    key_announcements: list[KeyAnnouncement]
+    checkpoint_period: int
+    app_setup: Any = None
+    created_at: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for member in self.view.members:
+            if member not in self.permanent_keys:
+                raise LedgerError(
+                    f"genesis is missing the permanent key of member {member}")
+        if self.checkpoint_period < 0:
+            raise LedgerError("checkpoint period must be non-negative")
+
+    def digest(self) -> bytes:
+        return hash_obj(self.to_record())
+
+    @property
+    def hash_for_block_one(self) -> bytes:
+        """hash(∅) chained into block 1, per Algorithm 1 line 6 — the header
+        chain starts at the empty hash; genesis content is bound via the
+        verifier's trust anchor rather than the hash chain."""
+        return EMPTY_DIGEST
+
+    def to_record(self) -> tuple:
+        return (
+            "genesis",
+            self.view.view_id,
+            tuple(self.view.members),
+            tuple(sorted(self.permanent_keys.items())),
+            tuple(a.to_record() for a in self.key_announcements),
+            self.checkpoint_period,
+            (self.app_setup if isinstance(self.app_setup, str)
+             else repr(self.app_setup)),
+            self.created_at,
+            tuple(sorted(self.extra.items())),
+        )
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "GenesisBlock":
+        (_, view_id, members, perm, announcements, z, app_setup,
+         created_at, extra) = record
+        return cls(
+            view=View(view_id, tuple(members)),
+            permanent_keys=dict(perm),
+            key_announcements=[KeyAnnouncement.from_record(a)
+                               for a in announcements],
+            checkpoint_period=z,
+            app_setup=app_setup,
+            created_at=created_at,
+            extra=dict(extra),
+        )
+
+    def serialized_bytes(self) -> int:
+        return 256 + 96 * len(self.key_announcements) + 64 * len(self.permanent_keys)

@@ -1,0 +1,12 @@
+"""Simulated authenticated point-to-point network."""
+
+from repro.net.message import HEADER_OVERHEAD_BYTES, Message
+from repro.net.network import Endpoint, Network, NetworkConfig
+
+__all__ = [
+    "HEADER_OVERHEAD_BYTES",
+    "Message",
+    "Endpoint",
+    "Network",
+    "NetworkConfig",
+]

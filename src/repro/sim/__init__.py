@@ -1,0 +1,15 @@
+"""Discrete-event simulation substrate (engine, resources, measurement)."""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resource import Resource
+from repro.sim.trace import LatencyRecorder, ThroughputMeter, TraceLog, trimmed_mean
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Resource",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "TraceLog",
+    "trimmed_mean",
+]

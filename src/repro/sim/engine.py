@@ -1,0 +1,199 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event-scheduling simulator: a priority queue of
+``(time, sequence, callback)`` entries and a virtual clock.  Everything in
+this library — network delivery, disk writes, CPU service, protocol timers —
+is expressed as events on one :class:`Simulator`.
+
+Determinism
+-----------
+Two runs with the same seed and the same schedule of calls produce identical
+histories.  Ties in event time are broken by insertion order (a monotonically
+increasing sequence number), and all randomness flows through ``sim.rng``, a
+``random.Random`` seeded at construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Iterable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """Handle to a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; call :meth:`cancel` to prevent the
+    callback from firing (used pervasively for protocol timeouts).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Safe to call more than once."""
+        self.cancelled = True
+        # Drop references so cancelled timers do not pin protocol state alive
+        # while they sit in the heap waiting to be popped.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random generator.  All stochastic model
+        components (network jitter, client think times, ...) must draw from
+        ``self.rng`` so runs are reproducible.
+
+    Example
+    -------
+    >>> sim = Simulator(seed=1)
+    >>> out = []
+    >>> _ = sim.schedule(2.0, out.append, "b")
+    >>> _ = sim.schedule(1.0, out.append, "a")
+    >>> sim.run()
+    >>> out
+    ['a', 'b']
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self._executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in order until the heap drains, ``until`` is reached,
+        ``max_events`` have executed, or :meth:`stop` is called.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so interval-based measurements
+        line up with the requested horizon.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed_now = 0
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                self.now = event.time
+                event.fn(*event.args)
+                self._executed += 1
+                executed_now += 1
+                if max_events is not None and executed_now >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns ``False`` when nothing is pending."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self._executed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def executed(self) -> int:
+        """Total events executed so far."""
+        return self._executed
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` when the heap is empty."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def drain(self) -> Iterable[Event]:  # pragma: no cover - debugging aid
+        """Remove and yield all pending events without executing them."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                yield event

@@ -1,0 +1,31 @@
+"""Mod-SMaRt state machine replication (the BFT-SMART reimplementation)."""
+
+from repro.smr.durability import DuraSmartDelivery
+from repro.smr.keydir import KeyDirectory
+from repro.smr.replica import ModSmartReplica
+from repro.smr.requests import (
+    ClientRequest,
+    Decision,
+    ReplyBatchMsg,
+    RequestBatchMsg,
+    RequestKey,
+)
+from repro.smr.service import Application, DeliveryLayer, MemoryDelivery
+from repro.smr.statetransfer import StateTransferEngine
+from repro.smr.views import View
+
+__all__ = [
+    "DuraSmartDelivery",
+    "KeyDirectory",
+    "ModSmartReplica",
+    "ClientRequest",
+    "Decision",
+    "ReplyBatchMsg",
+    "RequestBatchMsg",
+    "RequestKey",
+    "Application",
+    "DeliveryLayer",
+    "MemoryDelivery",
+    "StateTransferEngine",
+    "View",
+]

@@ -1,0 +1,36 @@
+"""Directory of published consensus public keys.
+
+Replicas generate a fresh consensus key pair for each view they participate
+in (Section V-D) and announce the public half.  In the real system the keys
+travel inside reconfiguration transactions and the first messages of a new
+view; the simulation centralizes the *lookup* in this directory (publishing
+is still an explicit protocol action, so tests can model replicas whose keys
+were not collected).
+
+The directory only ever holds public keys — it grants no signing power.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KeyDirectory"]
+
+
+class KeyDirectory:
+    """Maps (view id, replica id) -> consensus public key."""
+
+    def __init__(self) -> None:
+        self._keys: dict[tuple[int, int], str] = {}
+
+    def publish(self, view_id: int, replica_id: int, public: str) -> None:
+        self._keys[(view_id, replica_id)] = public
+
+    def lookup(self, view_id: int, replica_id: int) -> str | None:
+        return self._keys.get((view_id, replica_id))
+
+    def view_keys(self, view_id: int) -> dict[int, str]:
+        """All published keys for ``view_id`` (replica id -> public key)."""
+        return {
+            replica: public
+            for (view, replica), public in self._keys.items()
+            if view == view_id
+        }

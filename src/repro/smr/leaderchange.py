@@ -1,0 +1,261 @@
+"""Mod-SMaRt synchronization phase: regency (leader) changes.
+
+When correct replicas stop making progress on pending requests, they vote to
+abandon the current regency (STOP).  Once 2f+1 replicas vote, a new regency
+is installed with a new leader (round-robin); replicas report the value they
+may have vouched for in the unfinished instance (STOPDATA), and the new
+leader re-proposes the highest vouched value — or declares a fresh start —
+via SYNC.  This preserves agreement: if any replica decided a value in the
+old regency, a WRITE quorum saw it, so at least one correct STOPDATA carries
+it to the new leader.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.consensus.messages import StopDataMsg, StopMsg, SyncMsg
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.smr.replica import ModSmartReplica
+
+__all__ = ["Synchronizer"]
+
+
+class Synchronizer:
+    """Leader-change state machine for one replica."""
+
+    def __init__(self, replica: "ModSmartReplica"):
+        self.replica = replica
+        self.in_sync_phase = False
+        self._stop_votes: dict[int, set[int]] = {}
+        self._stopdata: dict[int, dict[int, StopDataMsg]] = {}
+        self._stop_sent_for = -1
+        self._synced_regency = -1
+        self._request_timer = None
+        self._sync_timer = None
+        self._last_progress = 0.0
+        # Statistics.
+        self.regency_changes = 0
+
+    # ------------------------------------------------------------------
+    # Progress watchdog
+    # ------------------------------------------------------------------
+    def arm_request_timer(self) -> None:
+        """Watch pending requests; fire a leader change on starvation."""
+        replica = self.replica
+        if self._request_timer is not None or not replica.pending:
+            return
+        if replica.crashed or not replica.active:
+            return
+        timeout = replica.config.request_timeout
+        self._request_timer = replica.sim.schedule(
+            timeout, replica.guard(self._watchdog))
+
+    def on_progress(self) -> None:
+        """A decision was delivered: the current leader is doing its job."""
+        self._last_progress = self.replica.sim.now
+
+    def _watchdog(self) -> None:
+        self._request_timer = None
+        replica = self.replica
+        if not replica.pending or not replica.active:
+            return
+        starved = (replica.sim.now - self._last_progress
+                   >= replica.config.request_timeout)
+        if starved and not self.in_sync_phase:
+            self.request_change()
+        self.arm_request_timer()
+
+    # ------------------------------------------------------------------
+    # STOP voting
+    # ------------------------------------------------------------------
+    def request_change(self) -> None:
+        """Vote to move past the current regency."""
+        self._send_stop(self.replica.regency + 1)
+
+    def _send_stop(self, next_regency: int) -> None:
+        if next_regency <= self._stop_sent_for:
+            return
+        self._stop_sent_for = next_regency
+        self.replica.trace.emit(self.replica.sim.now, "stop",
+                                replica=self.replica.id, regency=next_regency)
+        self.replica.broadcast_view(StopMsg(next_regency=next_regency))
+
+    def on_message(self, src: int, msg: Message) -> None:
+        if isinstance(msg, StopMsg):
+            self._on_stop(src, msg)
+        elif isinstance(msg, StopDataMsg):
+            self._on_stopdata(src, msg)
+        elif isinstance(msg, SyncMsg):
+            self._on_sync(src, msg)
+
+    def _on_stop(self, src: int, msg: StopMsg) -> None:
+        replica = self.replica
+        regency = msg.next_regency
+        if regency <= replica.regency or not replica.cv.contains(src):
+            return
+        votes = self._stop_votes.setdefault(regency, set())
+        votes.add(src)
+        if len(votes) >= replica.cv.f + 1:
+            self._send_stop(regency)  # join the change
+        if len(votes) >= replica.cv.stop_quorum:
+            self._install_regency(regency)
+
+    def _install_regency(self, regency: int) -> None:
+        replica = self.replica
+        if regency <= replica.regency:
+            return
+        replica.regency = regency
+        self.regency_changes += 1
+        self.in_sync_phase = True
+        replica._cancel_batch_timer()
+        for stale in [r for r in self._stop_votes if r <= regency]:
+            del self._stop_votes[stale]
+        self._stop_sent_for = max(self._stop_sent_for, regency)
+        replica.inflight.clear()
+
+        pending_cid = replica.last_decided + 1
+        instance = replica.instances.get(pending_cid)
+        writeset = instance.writeset if instance is not None else None
+        if instance is not None:
+            instance.reset_for_regency(regency)
+
+        replica.trace.emit(replica.sim.now, "regency-installed",
+                           replica=replica.id, regency=regency)
+        stopdata = StopDataMsg(
+            regency=regency,
+            last_decided_cid=replica.last_decided,
+            pending_cid=pending_cid,
+            writeset=writeset,
+            size=64 + (sum(r.size for r in writeset[2]) if writeset else 0),
+        )
+        replica.send(replica.cv.leader(regency), stopdata)
+        self._arm_sync_timeout()
+        if replica.cv.leader(regency) == replica.id:
+            self._check_stopdata(regency)
+
+    def _arm_sync_timeout(self) -> None:
+        replica = self.replica
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+        self._sync_timer = replica.sim.schedule(
+            replica.config.request_timeout, replica.guard(self._sync_timeout))
+
+    def _sync_timeout(self) -> None:
+        self._sync_timer = None
+        if self.in_sync_phase:
+            # The new leader also failed: escalate.
+            self.request_change()
+
+    # ------------------------------------------------------------------
+    # STOPDATA collection (new leader) and SYNC
+    # ------------------------------------------------------------------
+    def _on_stopdata(self, src: int, msg: StopDataMsg) -> None:
+        replica = self.replica
+        if msg.regency < replica.regency:
+            return
+        if replica.cv.leader(msg.regency) != replica.id:
+            return
+        # Buffer even if our own regency install lags; _install_regency
+        # re-checks the tally.
+        self._stopdata.setdefault(msg.regency, {})[src] = msg
+        self._check_stopdata(msg.regency)
+
+    def _check_stopdata(self, regency: int) -> None:
+        replica = self.replica
+        if regency != replica.regency:
+            return
+        collected = self._stopdata.get(regency, {})
+        needed = replica.cv.n - replica.cv.f
+        if len(collected) < needed or self._synced_regency >= regency:
+            return
+        highest = max(sd.last_decided_cid for sd in collected.values())
+        if highest > replica.last_decided:
+            # The new leader is behind: catch up before leading.
+            replica.state_transfer.start(
+                lambda _cid: self._emit_sync(regency))
+            return
+        self._emit_sync(regency)
+
+    def _emit_sync(self, regency: int) -> None:
+        replica = self.replica
+        if self._synced_regency >= regency or replica.regency != regency:
+            return
+        self._synced_regency = regency
+        collected = self._stopdata.get(regency, {})
+        cid = replica.last_decided + 1
+        # The safety rule: re-propose the vouched value with the highest
+        # regency among the collected STOPDATAs for this cid.
+        best = None
+        for stopdata in collected.values():
+            if stopdata.pending_cid != cid or stopdata.writeset is None:
+                continue
+            if best is None or stopdata.writeset[0] > best[0]:
+                best = stopdata.writeset
+        batch = best[2] if best is not None else None
+        batch_hash = best[1] if best is not None else b""
+        size = 64 + (sum(r.size for r in batch) if batch else 0)
+        replica.trace.emit(replica.sim.now, "sync-sent", replica=replica.id,
+                           regency=regency, reproposed=batch is not None)
+        replica.broadcast_view(SyncMsg(regency=regency, cid=cid, batch=batch,
+                                       batch_hash=batch_hash,
+                                       collected_from=tuple(collected),
+                                       size=size))
+
+    def _on_sync(self, src: int, msg: SyncMsg) -> None:
+        replica = self.replica
+        if msg.regency != replica.regency:
+            return
+        if src != replica.cv.leader(msg.regency):
+            return
+        if not self.in_sync_phase:
+            return
+        self.in_sync_phase = False
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+            self._sync_timer = None
+        self._last_progress = replica.sim.now
+        replica.trace.emit(replica.sim.now, "sync-adopted", replica=replica.id,
+                           regency=msg.regency)
+        if msg.batch is not None and msg.cid == replica.last_decided + 1:
+            # Adopt the re-proposal as if it were a PROPOSE from the leader.
+            unseen = [r for r in msg.batch if r.key not in replica.seen]
+            if unseen:
+                replica.ingest_requests(unseen)
+            instance = replica._instance(msg.cid)
+            if instance.on_propose(msg.regency, msg.batch, msg.batch_hash):
+                from repro.consensus.messages import WriteMsg
+                replica.broadcast_view(WriteMsg(cid=msg.cid, regency=msg.regency,
+                                                batch_hash=msg.batch_hash))
+        else:
+            replica.maybe_propose()
+        self.arm_request_timer()
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_view_installed(self) -> None:
+        """A reconfiguration installed a new view: regency state restarts."""
+        self.in_sync_phase = False
+        self._stop_votes.clear()
+        self._stopdata.clear()
+        self._stop_sent_for = -1
+        self._synced_regency = -1
+        self._last_progress = self.replica.sim.now
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+            self._sync_timer = None
+
+    def on_crash(self) -> None:
+        if self._request_timer is not None:
+            self._request_timer.cancel()
+            self._request_timer = None
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+            self._sync_timer = None
+        self.in_sync_phase = False
+        self._stop_votes.clear()
+        self._stopdata.clear()
+        self._stop_sent_for = -1

@@ -1,0 +1,739 @@
+"""The Mod-SMaRt replica: BFT total-order broadcast with batching.
+
+This is the reproduction of BFT-SMART's ordering core (Section II-C): a
+sequence of VP-Consensus instances (PROPOSE / WRITE / signed-ACCEPT, Figure 1
+of the paper), client request batching, a synchronization phase for leader
+changes, state transfer hooks and crash/recovery with an incarnation guard.
+
+Division of labour
+------------------
+- This class owns *ordering* and the shared machine resources (state-machine
+  thread, verification pool, NIC endpoint, stable store).
+- A pluggable :class:`~repro.smr.service.DeliveryLayer` owns what happens to
+  decided batches (execution, durability, replies, blockchain building).
+- :class:`~repro.smr.leaderchange.Synchronizer` owns regency changes.
+- :class:`~repro.smr.statetransfer.StateTransferEngine` owns recovery
+  catch-up.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.config import CostModel, SMRConfig, VerificationMode
+from repro.consensus.instance import ConsensusInstance
+from repro.consensus.messages import (
+    AcceptMsg,
+    ProposeMsg,
+    StopDataMsg,
+    StopMsg,
+    SyncMsg,
+    WriteMsg,
+    batch_wire_size,
+)
+from repro.crypto.hashing import hash_obj
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import ConsensusError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.resource import Resource
+from repro.sim.trace import TraceLog
+from repro.smr.keydir import KeyDirectory
+from repro.smr.requests import (
+    ClientRequest,
+    Decision,
+    ReplyBatchMsg,
+    RequestBatchMsg,
+    RequestKey,
+)
+from repro.smr.service import DeliveryLayer
+from repro.smr.views import View
+from repro.storage.stable import StableStore
+
+__all__ = ["ModSmartReplica"]
+
+
+class ModSmartReplica:
+    """One replica of the Mod-SMaRt SMR protocol.
+
+    Parameters
+    ----------
+    sim, network, registry, keydir:
+        Shared simulation substrate.
+    replica_id:
+        This replica's identifier (must be unique in the universe).
+    view:
+        The initial view (``vinit``).
+    config, costs:
+        Protocol parameters and the calibrated cost model.
+    delivery:
+        The delivery layer receiving ordered decisions.
+    store:
+        Machine-owned stable store (survives crashes of this object).
+    key_policy:
+        ``"permanent"`` — sign consensus messages with the permanent key
+        (classic BFT-SMART); ``"per_view"`` — fresh consensus keys per view
+        with erasure on view change (SMARTCHAIN's forgetting protocol).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        registry: KeyRegistry,
+        keydir: KeyDirectory,
+        replica_id: int,
+        view: View,
+        config: SMRConfig,
+        costs: CostModel,
+        delivery: DeliveryLayer,
+        store: StableStore | None = None,
+        trace: TraceLog | None = None,
+        key_policy: str = "permanent",
+        active: bool = True,
+        permanent_key: KeyPair | None = None,
+        initial_consensus_key: KeyPair | None = None,
+    ):
+        self.sim = sim
+        self.net = network
+        self.registry = registry
+        self.keydir = keydir
+        self.id = replica_id
+        self.cv = view
+        self.config = config
+        self.costs = costs
+        self.delivery = delivery
+        self.store = store or StableStore(sim, disk_config=costs.disk,
+                                          name=f"store-{replica_id}")
+        self.trace = trace or TraceLog(enabled=False)
+        self.key_policy = key_policy
+
+        # Machine resources.
+        self.sm_thread = Resource(sim, 1, name=f"sm-{replica_id}")
+        self.verify_pool = Resource(sim, config.verify_pool_size,
+                                    name=f"pool-{replica_id}")
+
+        # Keys (may be provided by a bootstrap that wrote them to genesis).
+        self.permanent_key: KeyPair = (
+            permanent_key if permanent_key is not None
+            else registry.generate(f"perm-r{replica_id}"))
+        self.consensus_keys: dict[int, KeyPair] = {}
+        if initial_consensus_key is not None and key_policy == "per_view":
+            self.consensus_keys[view.view_id] = initial_consensus_key
+            keydir.publish(view.view_id, replica_id,
+                           initial_consensus_key.public)
+        self.ensure_consensus_key(view.view_id)
+
+        # Ordering state.
+        self.regency = 0
+        self.last_decided = -1
+        self.last_executed = -1
+        self.pending: "OrderedDict[RequestKey, ClientRequest]" = OrderedDict()
+        self.seen: set[RequestKey] = set()
+        self.verified: set[RequestKey] = set()
+        self.inflight: set[RequestKey] = set()
+        self.instances: dict[int, ConsensusInstance] = {}
+        self.decision_buffer: dict[int, Decision] = {}
+        self.future_proposals: dict[int, tuple[int, ProposeMsg]] = {}
+        self._verify_waiters: list[tuple[set[RequestKey], Callable[[], None]]] = []
+
+        # Lifecycle.
+        self.crashed = False
+        self.active = active
+        self._incarnation = 0
+        self._batch_timer = None
+        self._gap_timer = None
+        self._extra_handlers: dict[type, Callable[[int, Message], None]] = {}
+
+        # Statistics.
+        self.decided_count = 0
+        self.executed_tx_count = 0
+
+        # Collaborators (import here to avoid cycles).
+        from repro.smr.leaderchange import Synchronizer
+        from repro.smr.statetransfer import StateTransferEngine
+        self.synchronizer = Synchronizer(self)
+        self.state_transfer = StateTransferEngine(self)
+
+        delivery.attach(self)
+        self.endpoint = network.register(replica_id, self._on_message)
+
+    # ==================================================================
+    # Resource charging helpers
+    # ==================================================================
+    def guard(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap a callback so it is dropped if the replica crashed or was
+        re-incarnated after scheduling — simulated threads die with the
+        process."""
+        incarnation = self._incarnation
+
+        def wrapper(*args: Any) -> None:
+            if not self.crashed and self._incarnation == incarnation:
+                fn(*args)
+
+        return wrapper
+
+    def charge_sm(self, seconds: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn`` after ``seconds`` of state-machine-thread work."""
+        self.sm_thread.submit(seconds, self.guard(fn), *args)
+
+    def charge_pool(self, seconds: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn`` after ``seconds`` of work on the verification pool."""
+        self.verify_pool.submit(seconds, self.guard(fn), *args)
+
+    def charge_pool_bulk(self, unit: float, count: int,
+                         fn: Callable[..., Any], *args: Any) -> None:
+        self.verify_pool.submit_bulk(unit, count, self.guard(fn), *args)
+
+    def execution_cost(self, batch: list[ClientRequest]) -> float:
+        """SM-thread cost of executing ``batch`` and marshalling replies.
+
+        With SEQUENTIAL verification, signature checks run here too —
+        the naive design of Observation 1.
+        """
+        costs = self.costs
+        work = costs.batch_overhead
+        work += len(batch) * (costs.exec_time_per_tx + costs.reply_time_per_tx)
+        signed = sum(1 for req in batch if req.signed)
+        work += signed * costs.signed_tx_sm_overhead
+        if self.config.verification is VerificationMode.SEQUENTIAL:
+            work += signed * costs.crypto.verify_time
+        return work
+
+    # ==================================================================
+    # Keys
+    # ==================================================================
+    def ensure_consensus_key(self, view_id: int) -> KeyPair:
+        """Key used to sign ACCEPTs (and block certificates) in ``view_id``."""
+        if self.key_policy == "permanent":
+            self.keydir.publish(view_id, self.id, self.permanent_key.public)
+            return self.permanent_key
+        if view_id not in self.consensus_keys:
+            key = self.registry.generate(f"cons-r{self.id}-v{view_id}")
+            self.consensus_keys[view_id] = key
+            self.keydir.publish(view_id, self.id, key.public)
+        return self.consensus_keys[view_id]
+
+    def consensus_key(self) -> KeyPair:
+        return self.ensure_consensus_key(self.cv.view_id)
+
+    def rotate_keys(self, new_view: View) -> None:
+        """Forgetting protocol: generate the new view's key, erase older ones."""
+        self.ensure_consensus_key(new_view.view_id)
+        if self.key_policy == "per_view":
+            for view_id, key in self.consensus_keys.items():
+                if view_id < new_view.view_id and not key.is_erased:
+                    key.erase()
+
+    # ==================================================================
+    # Message plumbing
+    # ==================================================================
+    def register_handler(self, msg_type: type,
+                         fn: Callable[[int, Message], None]) -> None:
+        """Let layers (PERSIST phase, reconfiguration, ...) receive messages."""
+        self._extra_handlers[msg_type] = fn
+
+    def send(self, dst: int, msg: Message) -> None:
+        self.net.send(self.id, dst, msg)
+
+    def broadcast_view(self, msg: Message, include_self: bool = True) -> None:
+        targets = [m for m in self.cv.members if include_self or m != self.id]
+        self.net.broadcast(self.id, targets, msg)
+
+    def _on_message(self, src: int, msg: Message) -> None:
+        if self.crashed:
+            return
+        if isinstance(msg, RequestBatchMsg):
+            self._on_request_batch(src, msg)
+        elif isinstance(msg, ProposeMsg):
+            self._on_propose(src, msg)
+        elif isinstance(msg, WriteMsg):
+            self._on_write(src, msg)
+        elif isinstance(msg, AcceptMsg):
+            self._on_accept(src, msg)
+        elif isinstance(msg, (StopMsg, StopDataMsg, SyncMsg)):
+            self.synchronizer.on_message(src, msg)
+        else:
+            handler = self._extra_handlers.get(type(msg))
+            if handler is None:
+                handler = self.state_transfer.maybe_handle
+            handler(src, msg)
+
+    # ==================================================================
+    # Request ingestion and verification gating
+    # ==================================================================
+    def _on_request_batch(self, src: int, msg: RequestBatchMsg) -> None:
+        self.ingest_requests(msg.requests)
+
+    def ingest_requests(self, requests: list[ClientRequest]) -> None:
+        """Admit new client requests: dedupe, verify (per mode), enqueue."""
+        fresh = [r for r in requests if r.key not in self.seen]
+        if not fresh:
+            return
+        mode = self.config.verification
+        for req in fresh:
+            self.seen.add(req.key)
+            self.pending[req.key] = req
+        if mode is VerificationMode.PARALLEL:
+            to_verify = [r.key for r in fresh if r.signed]
+            instant = [r.key for r in fresh if not r.signed]
+            self.verified.update(instant)
+            if to_verify:
+                self.charge_pool_bulk(
+                    self.costs.crypto.verify_time, len(to_verify),
+                    self._mark_verified, to_verify,
+                )
+            elif instant:
+                self._after_verification()
+        else:
+            # SEQUENTIAL charges at execution; NONE never verifies.
+            self.verified.update(r.key for r in fresh)
+            self._after_verification()
+
+    def _mark_verified(self, keys: list[RequestKey]) -> None:
+        self.verified.update(keys)
+        if self._verify_waiters:
+            still_waiting = []
+            for wanted, fn in self._verify_waiters:
+                wanted.difference_update(keys)
+                if wanted:
+                    still_waiting.append((wanted, fn))
+                else:
+                    fn()
+            self._verify_waiters = still_waiting
+        self._after_verification()
+
+    def _after_verification(self) -> None:
+        self.maybe_propose()
+        self.synchronizer.arm_request_timer()
+
+    def require_verified(self, batch: list[ClientRequest],
+                         fn: Callable[[], None]) -> None:
+        """Invoke ``fn`` once every signed request in ``batch`` is verified
+        locally (immediately if they already are, or if verification is not
+        the pool's job)."""
+        if self.config.verification is not VerificationMode.PARALLEL:
+            fn()
+            return
+        missing = {r.key for r in batch if r.signed and r.key not in self.verified}
+        if not missing:
+            fn()
+        else:
+            self._verify_waiters.append((missing, fn))
+
+    def ready_requests(self) -> list[ClientRequest]:
+        """Verified pending requests not already being ordered.
+
+        Special (reconfiguration) requests are isolated so they land in
+        their own blocks: a batch is either all-normal, a group of 'remove'
+        votes (which the paper notes can be batched), or a single other
+        special request.
+        """
+        limit = self.config.batch_size
+        out: list[ClientRequest] = []
+        for key, req in self.pending.items():
+            if key in self.inflight:
+                continue
+            if req.signed and key not in self.verified \
+                    and self.config.verification is VerificationMode.PARALLEL:
+                continue
+            if req.special:
+                if not out:
+                    if req.special != "remove":
+                        return [req]
+                    out.append(req)
+                elif out[0].special == "remove" and req.special == "remove":
+                    out.append(req)
+                else:
+                    break
+            else:
+                if out and out[0].special:
+                    break
+                out.append(req)
+            if len(out) >= limit:
+                break
+        return out
+
+    # ==================================================================
+    # Proposing (leader)
+    # ==================================================================
+    @property
+    def is_leader(self) -> bool:
+        return self.cv.leader(self.regency) == self.id
+
+    def maybe_propose(self) -> None:
+        if self.crashed or not self.active or not self.is_leader:
+            return
+        if self.synchronizer.in_sync_phase:
+            return
+        next_cid = self.last_decided + 1
+        instance = self.instances.get(next_cid)
+        if instance is not None and instance.batch_hash is not None:
+            return  # already ordering something for this cid
+        if self.delivery.backlog >= self.config.max_pending_decisions:
+            return  # flow control: let the delivery pipeline drain
+        ready = self.ready_requests()
+        if not ready:
+            return
+        if len(ready) >= self.config.batch_size:
+            self._cancel_batch_timer()
+            self._propose(ready[: self.config.batch_size])
+        elif self._batch_timer is None:
+            self._batch_timer = self.sim.schedule(
+                self.config.batch_timeout, self.guard(self._batch_timeout_fired))
+
+    def _batch_timeout_fired(self) -> None:
+        self._batch_timer = None
+        if self.crashed or not self.active or not self.is_leader:
+            return
+        if self.synchronizer.in_sync_phase:
+            return
+        next_cid = self.last_decided + 1
+        instance = self.instances.get(next_cid)
+        if instance is not None and instance.batch_hash is not None:
+            return
+        if self.delivery.backlog >= self.config.max_pending_decisions:
+            # Re-check once the pipeline drains (maybe_propose re-arms).
+            return
+        ready = self.ready_requests()
+        if ready:
+            self._propose(ready[: self.config.batch_size])
+
+    def _cancel_batch_timer(self) -> None:
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+
+    def _propose(self, batch: list[ClientRequest]) -> None:
+        cid = self.last_decided + 1
+        batch_hash = hash_obj([r.to_canonical() for r in batch])
+        self.inflight.update(r.key for r in batch)
+        msg = ProposeMsg(cid=cid, regency=self.regency, batch=batch,
+                         batch_hash=batch_hash, size=batch_wire_size(batch))
+        self.trace.emit(self.sim.now, "propose", replica=self.id, cid=cid,
+                        batch=len(batch))
+        self.broadcast_view(msg)
+
+    # ==================================================================
+    # Consensus message handling
+    # ==================================================================
+    def _instance(self, cid: int) -> ConsensusInstance:
+        instance = self.instances.get(cid)
+        if instance is None:
+            instance = ConsensusInstance(cid, self.cv.quorum)
+            self.instances[cid] = instance
+        return instance
+
+    def _on_propose(self, src: int, msg: ProposeMsg) -> None:
+        if msg.cid <= self.last_decided:
+            return
+        if msg.cid > self.last_decided + 1:
+            # Sequential instances: hold until this replica catches up.
+            self.future_proposals[msg.cid] = (src, msg)
+            self._arm_gap_check()
+            return
+        self._process_propose(src, msg)
+
+    def _process_propose(self, src: int, msg: ProposeMsg) -> None:
+        if src != self.cv.leader(msg.regency):
+            return  # not from the leader of that regency
+        if msg.regency != self.regency:
+            return
+        # Adopt requests we have not seen from stations yet (and verify them).
+        unseen = [r for r in msg.batch if r.key not in self.seen]
+        if unseen:
+            self.ingest_requests(unseen)
+        instance = self._instance(msg.cid)
+        if instance.on_propose(msg.regency, msg.batch, msg.batch_hash):
+            if self.active:
+                write = WriteMsg(cid=msg.cid, regency=msg.regency,
+                                 batch_hash=msg.batch_hash)
+                self.broadcast_view(write)
+        # A lagging replica may already hold a quorum of ACCEPTs that was
+        # waiting only for the batch itself.
+        if (not instance.decided
+                and instance.accept_count(msg.batch_hash) >= self.cv.quorum):
+            from repro.consensus.instance import Phase
+            instance.phase = Phase.DECIDED
+            instance.decided_hash = msg.batch_hash
+            self._on_instance_decided(instance)
+
+    def _on_write(self, src: int, msg: WriteMsg) -> None:
+        if msg.cid <= self.last_decided:
+            return
+        if msg.regency != self.regency and self.active:
+            return
+        instance = self._instance(msg.cid)
+        if instance.on_write(src, msg.batch_hash) and self.active:
+            self._send_accept(instance, msg)
+
+    def _send_accept(self, instance: ConsensusInstance, write: WriteMsg) -> None:
+        instance.record_accept_sent(write.regency)
+        key = self.consensus_key()
+        payload = hash_obj(("accept", write.cid, write.batch_hash))
+        # Signing happens on the crypto pool (it would block a protocol
+        # thread, not the state machine).
+        def signed() -> None:
+            if key.is_erased:
+                # A view change rotated the keys while this job was queued;
+                # the instance will be re-run under the new view.
+                return
+            signature = key.sign(payload)
+            accept = AcceptMsg(cid=write.cid, regency=write.regency,
+                               batch_hash=write.batch_hash, signature=signature)
+            self.broadcast_view(accept)
+        self.charge_pool(self.costs.crypto.sign_time, signed)
+
+    def _on_accept(self, src: int, msg: AcceptMsg) -> None:
+        if msg.cid <= self.last_decided:
+            return
+        if msg.signature is None:
+            return
+        public = self.keydir.lookup(self.cv.view_id, src)
+        if public is None:
+            return
+        payload = hash_obj(("accept", msg.cid, msg.batch_hash))
+        # Verify on the pool, then tally.
+        def verified() -> None:
+            if not self.registry.verify(public, payload, msg.signature):
+                self.trace.emit(self.sim.now, "bad-accept-signature",
+                                replica=self.id, src=src, cid=msg.cid)
+                return
+            if msg.cid <= self.last_decided:
+                return
+            instance = self._instance(msg.cid)
+            if instance.on_accept(src, msg.batch_hash, msg.signature):
+                self._on_instance_decided(instance)
+        self.charge_pool(self.costs.crypto.verify_time, verified)
+
+    def _on_instance_decided(self, instance: ConsensusInstance) -> None:
+        if instance.batch is None:
+            raise ConsensusError(
+                f"replica {self.id} decided cid {instance.cid} without a batch")
+        decision = Decision(
+            cid=instance.cid,
+            batch=instance.batch,
+            proof=instance.decision_proof(),
+            batch_hash=instance.decided_hash or b"",
+            regency=self.regency,
+            decided_at=self.sim.now,
+        )
+        self.handle_decision(decision)
+
+    # ==================================================================
+    # Decision sequencing and delivery
+    # ==================================================================
+    def handle_decision(self, decision: Decision) -> None:
+        """Sequence a decision (from consensus, sync phase or catch-up) and
+        deliver it (and any buffered successors) in cid order."""
+        if decision.cid <= self.last_decided:
+            return
+        self.decision_buffer[decision.cid] = decision
+        while self.last_decided + 1 in self.decision_buffer:
+            ready = self.decision_buffer.pop(self.last_decided + 1)
+            self._deliver(ready)
+        # A buffered future proposal may now be processable.
+        pending = self.future_proposals.pop(self.last_decided + 1, None)
+        if pending is not None:
+            self._process_propose(*pending)
+        self.maybe_propose()
+
+    def _deliver(self, decision: Decision) -> None:
+        self.last_decided = decision.cid
+        self.decided_count += 1
+        self.instances.pop(decision.cid, None)
+        for req in decision.batch:
+            self.pending.pop(req.key, None)
+            self.inflight.discard(req.key)
+        self.trace.emit(self.sim.now, "decide", replica=self.id,
+                        cid=decision.cid, batch=len(decision.batch))
+        self.synchronizer.on_progress()
+        if (decision.batch and decision.batch[0].special == "vmview"
+                and self.config.view_manager_public is not None):
+            self._apply_view_manager_request(decision)
+            self.maybe_propose()
+            return
+        # Execution may need local verification to have finished (PARALLEL).
+        self.require_verified(decision.batch,
+                              lambda: self.delivery.on_decide(decision))
+
+    def note_executed(self, decision: Decision) -> None:
+        """Called by the delivery layer once a decision's batch executed."""
+        self.last_executed = max(self.last_executed, decision.cid)
+        self.executed_tx_count += len(decision.batch)
+
+    def send_replies(self, results: dict[RequestKey, tuple[Any, bytes]],
+                     requests: list[ClientRequest],
+                     block_number: int | None = None) -> None:
+        """Group per-station reply batches and transmit them."""
+        by_station: dict[int, dict[RequestKey, tuple[Any, bytes]]] = {}
+        sizes: dict[int, int] = {}
+        for req in requests:
+            result = results.get(req.key)
+            if result is None:
+                continue
+            by_station.setdefault(req.station, {})[req.key] = result
+            sizes[req.station] = sizes.get(req.station, 0) + req.reply_size
+        for station, payload in by_station.items():
+            msg = ReplyBatchMsg(replica_id=self.id, results=payload,
+                                block_number=block_number,
+                                size=sizes[station] + 32)
+            self.send(station, msg)
+
+    # ==================================================================
+    # Gap healing
+    # ==================================================================
+    def _arm_gap_check(self) -> None:
+        if self._gap_timer is not None:
+            return
+        self._gap_timer = self.sim.schedule(
+            self.config.request_timeout, self.guard(self._gap_check))
+
+    def kick_pending_proposals(self) -> None:
+        """Process the buffered proposal for the next cid, if any (decisions
+        may then cascade from already-tallied ACCEPT quorums)."""
+        pending = self.future_proposals.pop(self.last_decided + 1, None)
+        if pending is not None:
+            self._process_propose(*pending)
+
+    def _gap_check(self) -> None:
+        self._gap_timer = None
+        if not self.future_proposals:
+            return
+        self.kick_pending_proposals()
+        if not self.future_proposals:
+            return
+        gap_start = min(self.future_proposals)
+        if gap_start <= self.last_decided + 1:
+            self._arm_gap_check()
+            return  # next proposal is buffered; progress will resume
+        # A hole: decisions between last_decided and the earliest buffered
+        # proposal can no longer be obtained from live traffic — fetch them
+        # via state transfer.
+        self.trace.emit(self.sim.now, "gap-detected", replica=self.id,
+                        last_decided=self.last_decided, gap_start=gap_start)
+        if not self.state_transfer.in_progress:
+            self.state_transfer.start(lambda _cid: None)
+        self._arm_gap_check()
+
+    def _apply_view_manager_request(self, decision: Decision) -> None:
+        """Classic BFT-SMART reconfiguration: a totally-ordered request
+        signed by the trusted View Manager updates the replica set.  The
+        request never reaches the application (Section II-C3)."""
+        from repro.smr.viewmanager import validate_vm_request
+        request = decision.batch[0]
+        new_view = validate_vm_request(request,
+                                       self.config.view_manager_public,
+                                       self.registry)
+        if new_view is None or new_view.view_id <= self.cv.view_id:
+            result = ("error", "unauthorized reconfiguration")
+        else:
+            self.install_view(new_view)
+            result = ("view", new_view.view_id, tuple(new_view.members))
+        digest = hash_obj(("vm", request.client_id, request.req_id,
+                           repr(result)))
+        self.send_replies({request.key: (result, digest)}, [request])
+        self.note_executed(decision)
+
+    # ==================================================================
+    # View installation
+    # ==================================================================
+    def install_view(self, new_view: View) -> None:
+        """Adopt ``new_view`` (delivered in total order by a reconfiguration).
+
+        Consensus state of undecided instances is reset: the new view's
+        membership decides them under fresh quorums.
+        """
+        if new_view.view_id <= self.cv.view_id:
+            return
+        self.cv = new_view
+        self.rotate_keys(new_view)
+        self.regency = 0
+        self.synchronizer.on_view_installed()
+        members = set(new_view.members)
+        for cid in list(self.instances):
+            if cid <= self.last_decided:
+                continue
+            # Update the pending instance in place: new quorum, votes from
+            # departed members dropped, but the proposed batch KEPT — wiping
+            # it would lose an in-flight proposal to the view-change race.
+            instance = self.instances[cid]
+            instance.quorum = new_view.quorum
+            for votes in instance.writes.values():
+                votes.intersection_update(members)
+            for tally in instance.accepts.values():
+                for voter in [v for v in tally if v not in members]:
+                    del tally[voter]
+            if instance.batch_hash is not None and not instance.decided:
+                from repro.consensus.instance import Phase
+                instance.phase = Phase.PROPOSED
+                if self.active and self.id in members:
+                    # Re-vote under the new view so quorums re-form with the
+                    # new membership and fresh consensus keys.
+                    self.broadcast_view(WriteMsg(
+                        cid=cid, regency=self.regency,
+                        batch_hash=instance.batch_hash))
+        self.inflight.clear()
+        self.trace.emit(self.sim.now, "view-installed", replica=self.id,
+                        view=new_view.view_id, members=new_view.members)
+        if not new_view.contains(self.id):
+            self.active = False
+        self.maybe_propose()
+
+    # ==================================================================
+    # Crash / recovery
+    # ==================================================================
+    def crash(self) -> None:
+        """Recoverable crash: all volatile state is lost, stable store keeps
+        only what a completed sync covered."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._incarnation += 1
+        self.net.unregister(self.id)
+        self._cancel_batch_timer()
+        if self._gap_timer is not None:
+            self._gap_timer.cancel()
+            self._gap_timer = None
+        self.synchronizer.on_crash()
+        self.state_transfer.on_crash()
+        self.pending.clear()
+        self.seen.clear()
+        self.verified.clear()
+        self.inflight.clear()
+        self.instances.clear()
+        self.decision_buffer.clear()
+        self.future_proposals.clear()
+        self._verify_waiters.clear()
+        self.last_decided = -1
+        self.last_executed = -1
+        self.store.crash()
+        self.delivery.on_crash()
+        self.trace.emit(self.sim.now, "crash", replica=self.id)
+
+    def recover(self, on_ready: Callable[[], None] | None = None) -> None:
+        """Restart after a crash: reload local stable state, then run state
+        transfer to catch up before participating again (recovery mode,
+        Section III-b)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.active = False
+        self.endpoint = self.net.register(self.id, self._on_message)
+        recovered = self.delivery.recover_local()
+        self.last_decided = recovered
+        self.last_executed = recovered
+        self.trace.emit(self.sim.now, "recovering", replica=self.id,
+                        local_cid=recovered)
+
+        def done(target_cid: int) -> None:
+            self.active = True
+            self.regency = 0
+            self.trace.emit(self.sim.now, "recovered", replica=self.id,
+                            cid=target_cid)
+            if on_ready is not None:
+                on_ready()
+
+        self.state_transfer.start(done)

@@ -1,0 +1,94 @@
+"""Client requests, replies and decisions — the SMR data plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.keys import Signature
+from repro.net.message import Message
+
+__all__ = [
+    "ClientRequest",
+    "RequestKey",
+    "Decision",
+    "RequestBatchMsg",
+    "ReplyBatchMsg",
+]
+
+RequestKey = tuple[int, int]
+
+
+@dataclass
+class ClientRequest:
+    """One client operation submitted for total ordering.
+
+    ``op`` is the application payload (e.g. a SMaRtCoin transaction).
+    ``size`` is the serialized request size in bytes — the quantity the
+    paper reports (180 B MINT / 310 B SPEND requests) and that drives the
+    bandwidth model.  ``signed`` marks whether a signature must be verified
+    (and its cost charged) before execution.
+    """
+
+    client_id: int
+    req_id: int
+    op: Any
+    size: int = 128
+    signed: bool = True
+    sent_at: float = 0.0
+    #: Client station (machine) hosting the issuing client; replies for all
+    #: clients of one station travel in one ReplyBatchMsg.
+    station: int = -1
+    #: Serialized size of this request's reply (e.g. 270 B MINT / 380 B SPEND).
+    reply_size: int = 128
+    #: Special ordered operations that bypass the application (view
+    #: reconfigurations); empty string for normal requests.
+    special: str = ""
+
+    @property
+    def key(self) -> RequestKey:
+        return (self.client_id, self.req_id)
+
+    def to_canonical(self) -> tuple:
+        return ("req", self.client_id, self.req_id, self.special, repr(self.op))
+
+
+@dataclass
+class Decision:
+    """The outcome of one consensus instance, handed to the delivery layer."""
+
+    cid: int
+    batch: list[ClientRequest]
+    #: Quorum of signed ACCEPTs proving the decision (Section II-C1);
+    #: mapping replica id -> signature over (cid, batch hash).
+    proof: dict[int, Signature]
+    batch_hash: bytes
+    regency: int
+    decided_at: float
+
+    @property
+    def size(self) -> int:
+        return len(self.batch)
+
+    def payload_bytes(self) -> int:
+        return sum(req.size for req in self.batch)
+
+
+@dataclass
+class RequestBatchMsg(Message):
+    """Client station → replicas: a group of client requests."""
+
+    requests: list[ClientRequest] = field(default_factory=list)
+
+
+@dataclass
+class ReplyBatchMsg(Message):
+    """Replica → client station: results for executed requests.
+
+    ``results`` maps request key -> (result payload, result digest);
+    stations match replies from distinct replicas by digest.
+    """
+
+    replica_id: int = -1
+    results: dict[RequestKey, tuple[Any, bytes]] = field(default_factory=dict)
+    block_number: int | None = None

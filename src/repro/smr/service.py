@@ -1,0 +1,208 @@
+"""Interfaces between the ordering core, delivery layers and applications.
+
+The replica core (``repro.smr.replica``) totally orders batches; what happens
+to a decided batch is the job of a *delivery layer*:
+
+- :class:`MemoryDelivery` — execute immediately, keep the log in memory
+  (∞-Persistence; the PBFT-style state transfer baseline);
+- the naive application-level blockchain (``repro.apps``) — Table I;
+- the Dura-SMaRt durability layer (``repro.smr.durability``);
+- the SMARTCHAIN blockchain layer (``repro.core``) — the paper's contribution.
+
+Applications implement :class:`Application`: deterministic execution over
+ordered batches plus snapshot/install for state transfer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+from repro.smr.requests import ClientRequest, Decision
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.smr.replica import ModSmartReplica
+
+__all__ = ["Application", "DeliveryLayer", "MemoryDelivery", "ExecutionResult"]
+
+#: (result payload, result digest) — the digest is what client stations
+#: match across replicas to assemble a reply quorum.
+ExecutionResult = tuple[Any, bytes]
+
+
+class Application(abc.ABC):
+    """A deterministic replicated service (Section II-B requirements)."""
+
+    @abc.abstractmethod
+    def execute(self, request: ClientRequest) -> ExecutionResult:
+        """Apply one operation; must be deterministic."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> tuple[Any, int]:
+        """Return (opaque snapshot, serialized size in bytes)."""
+
+    @abc.abstractmethod
+    def install_snapshot(self, snapshot: Any) -> None:
+        """Replace the service state with ``snapshot``."""
+
+    def state_size(self) -> int:
+        """Current serialized state size estimate (drives snapshot timing)."""
+        return self.snapshot()[1]
+
+    def execute_batch(self, batch: list[ClientRequest]) -> dict:
+        """Execute a batch in order; returns request key -> ExecutionResult."""
+        return {req.key: self.execute(req) for req in batch}
+
+
+class DeliveryLayer(abc.ABC):
+    """Receives decisions in cid order; owns execution, durability, replies."""
+
+    replica: "ModSmartReplica"
+
+    def attach(self, replica: "ModSmartReplica") -> None:
+        self.replica = replica
+
+    @property
+    def backlog(self) -> int:
+        """Decisions delivered but not yet fully processed (flow control)."""
+        return 0
+
+    @abc.abstractmethod
+    def on_decide(self, decision: Decision) -> None:
+        """Handle the next decision (called in strict cid order)."""
+
+    # -- State transfer hooks -------------------------------------------
+    @abc.abstractmethod
+    def capture_state(self, up_to_cid: int | None = None) -> tuple[Any, int]:
+        """(opaque state package, serialized size) for a state transfer.
+
+        Layers that can serve historical state honor ``up_to_cid`` so that
+        any two correct replicas serve identical packages for the same
+        target; simpler layers may serve their current state."""
+
+    @abc.abstractmethod
+    def install_state(self, package: Any) -> None:
+        """Install a state package received via state transfer."""
+
+    def package_digest_material(self, package: Any) -> Any:
+        """The deterministic part of a state package, used for the f+1 hash
+        comparison.  Layers whose packages embed replica-local artifacts
+        (certificates, decision proofs — valid quorum subsets differ across
+        replicas) must strip them here."""
+        return package
+
+    def install_cost(self, package: Any) -> float:
+        """SM-thread seconds needed to install ``package`` (deserialization
+        plus any replay).  Layers with replayable suffixes override this."""
+        return 0.0
+
+    def can_self_verify(self) -> bool:
+        """True when a state package from a *single* untrusted peer can be
+        validated standalone (strong-variant chains: certificates)."""
+        return False
+
+    def verify_package(self, package: Any) -> bool:
+        """Validate a self-verifiable package (only called when
+        :meth:`can_self_verify` peers offered it)."""
+        return False
+
+    def reconcile_local(self, supported_cid: int) -> int:
+        """Full-crash reconciliation: the recovery group supports history up
+        to ``supported_cid``; layers without self-verifiable evidence must
+        drop anything beyond it (the weak variant's lost suffix).  Returns
+        the consensus id the replica should resume from."""
+        return min(self.replica.last_decided, supported_cid)
+
+    # -- Crash/recovery hooks -------------------------------------------
+    def on_crash(self) -> None:
+        """Volatile cleanup when the replica crashes."""
+
+    def recover_local(self) -> int:
+        """Restore from local stable storage; returns last recovered cid
+        (−1 when nothing survives)."""
+        return -1
+
+
+class SequentialDelivery(DeliveryLayer):
+    """Base for delivery layers that process one decision at a time.
+
+    Algorithm 1 runs as a sequential handler above the consensus layer: the
+    processing of decision N+1 (execution, block close, PERSIST wait)
+    starts only after N fully completes, while consensus keeps ordering
+    ahead.  Subclasses implement :meth:`process` and call ``done()`` when
+    the decision is fully handled.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Decision] = []
+        self._busy = False
+
+    def on_decide(self, decision: Decision) -> None:
+        self._queue.append(decision)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        decision = self._queue.pop(0)
+        self.process(decision, self._done)
+
+    def _done(self) -> None:
+        self._busy = False
+        self._pump()
+        # Backlog drained below the flow-control bound: the leader may
+        # propose again.
+        self.replica.maybe_propose()
+
+    def process(self, decision: Decision, done) -> None:
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        self._queue.clear()
+        self._busy = False
+
+    @property
+    def backlog(self) -> int:
+        """Decisions decided but not yet processed."""
+        return len(self._queue) + (1 if self._busy else 0)
+
+
+class MemoryDelivery(DeliveryLayer):
+    """Simplest delivery layer: execute on the SM thread, log in memory.
+
+    This is BFT-SMART's default (PBFT-like) mode: the request log lives in
+    memory and is lost on crash — recovery relies entirely on state transfer
+    from other replicas.  Used as the ∞-Persistence baseline and in protocol
+    unit tests.
+    """
+
+    def __init__(self, app: Application):
+        self.app = app
+        self.log: list[Decision] = []
+        self.executed_cid = -1
+
+    def on_decide(self, decision: Decision) -> None:
+        work = self.replica.execution_cost(decision.batch)
+        self.replica.charge_sm(work, self._apply, decision)
+
+    def _apply(self, decision: Decision) -> None:
+        results = self.app.execute_batch(decision.batch)
+        self.log.append(decision)
+        self.executed_cid = decision.cid
+        self.replica.send_replies(results, decision.batch)
+        self.replica.note_executed(decision)
+
+    def capture_state(self, up_to_cid: int | None = None) -> tuple[Any, int]:
+        snapshot, nbytes = self.app.snapshot()
+        return (self.executed_cid, snapshot), nbytes
+
+    def install_state(self, package: Any) -> None:
+        cid, snapshot = package
+        self.app.install_snapshot(snapshot)
+        self.executed_cid = cid
+        self.log.clear()
+
+    def on_crash(self) -> None:
+        self.log.clear()
+        self.executed_cid = -1

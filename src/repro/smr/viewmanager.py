@@ -1,0 +1,119 @@
+"""The centralized View Manager — the reconfiguration baseline.
+
+Classic BFT-SMART (Section II-C3) reconfigures through "a distinguished
+trusted client known as the View Manager, which uses the state machine
+protocol to issue updates to the replica set".  This is exactly the design
+the paper argues against for blockchains (Observation 3: a trusted third
+party with administrative privileges), implemented here as the baseline that
+SMARTCHAIN's decentralized protocol (``repro.core.reconfig``) replaces.
+
+The manager signs a reconfiguration request with its administrative key and
+submits it through the ordering protocol like any other client operation;
+replicas validate the signature against the configured manager key and
+install the new view.  Nothing else gates the change — whoever holds the
+manager's key owns the consortium.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.crypto.hashing import hash_obj
+from repro.crypto.keys import KeyPair, KeyRegistry, Signature
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.smr.requests import ClientRequest, ReplyBatchMsg, RequestBatchMsg
+from repro.smr.views import View
+
+__all__ = ["ViewManager", "validate_vm_request"]
+
+#: ClientRequest.special tag of View-Manager reconfigurations.
+VM_SPECIAL = "vmview"
+
+
+def _vm_payload(view_id: int, members: tuple) -> bytes:
+    return hash_obj(("vm-reconfig", view_id, tuple(members)))
+
+
+def validate_vm_request(request: ClientRequest,
+                        manager_public: str | None,
+                        registry: KeyRegistry) -> View | None:
+    """Deterministically validate a View-Manager request; returns the new
+    view, or None when the request is not authorized."""
+    if manager_public is None or request.special != VM_SPECIAL:
+        return None
+    try:
+        _tag, view_id, members, signer, value = request.op
+    except (TypeError, ValueError):
+        return None
+    signature = Signature(signer, value)
+    if signer != manager_public:
+        return None
+    if not registry.verify(manager_public, _vm_payload(view_id, tuple(members)),
+                           signature):
+        return None
+    try:
+        return View(view_id, tuple(members))
+    except Exception:
+        return None
+
+
+class ViewManager:
+    """The trusted administrative client."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 registry: KeyRegistry, manager_id: int = 9999,
+                 key: KeyPair | None = None):
+        self.sim = sim
+        self.net = network
+        self.registry = registry
+        self.id = manager_id
+        self.key = key or registry.generate("view-manager")
+        self._seq = itertools.count(1)
+        self._pending: dict[tuple, tuple[set, Callable | None]] = {}
+        network.register(manager_id, self._on_message)
+
+    @property
+    def public(self) -> str:
+        """The key replicas must be configured with
+        (``SMRConfig.view_manager_public``)."""
+        return self.key.public
+
+    def reconfigure(self, current_view: View, new_members: tuple,
+                    on_done: Callable[[View], None] | None = None) -> View:
+        """Sign and submit a view update through the ordering protocol."""
+        new_view = View(current_view.view_id + 1, tuple(sorted(new_members)))
+        signature = self.key.sign(_vm_payload(new_view.view_id,
+                                              new_view.members))
+        request = ClientRequest(
+            client_id=2_000_000 + self.id,
+            req_id=next(self._seq),
+            op=(VM_SPECIAL, new_view.view_id, new_view.members,
+                signature.signer, signature.value),
+            size=256,
+            signed=False,
+            sent_at=self.sim.now,
+            station=self.id,
+            reply_size=96,
+            special=VM_SPECIAL,
+        )
+        self._pending[request.key] = (set(), on_done)
+        nbytes = request.size + 16
+        self.net.broadcast(self.id, list(current_view.members),
+                           RequestBatchMsg(requests=[request], size=nbytes))
+        return new_view
+
+    def _on_message(self, src, msg) -> None:
+        if not isinstance(msg, ReplyBatchMsg):
+            return
+        for key, (payload, _digest) in msg.results.items():
+            entry = self._pending.get(key)
+            if entry is None:
+                continue
+            voters, on_done = entry
+            voters.add(msg.replica_id)
+            if len(voters) >= 2 and on_done is not None:
+                del self._pending[key]
+                if isinstance(payload, tuple) and payload[0] == "view":
+                    on_done(View(payload[1], tuple(payload[2])))

@@ -1,0 +1,88 @@
+"""Views: the replica group and its evolution.
+
+A *view* is the set of replicas currently allowed to participate in the
+ordering protocol (Section III).  Views are numbered; ``vinit`` is view 0 and
+is written to the genesis block.  The failure threshold f follows from the
+size: f = ⌊(n−1)/3⌋.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ViewError
+
+__all__ = ["View"]
+
+
+@dataclass(frozen=True)
+class View:
+    """An immutable replica-group configuration."""
+
+    view_id: int
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.members)) != len(self.members):
+            raise ViewError(f"duplicate members in view {self.view_id}: {self.members}")
+        if not self.members:
+            raise ViewError("a view must have at least one member")
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def f(self) -> int:
+        """Failures tolerated: ⌊(n−1)/3⌋."""
+        return (self.n - 1) // 3
+
+    @property
+    def quorum(self) -> int:
+        """Byzantine dissemination quorum ⌈(n+f+1)/2⌉ ≥ 2f+1."""
+        return (self.n + self.f + 2) // 2
+
+    @property
+    def stop_quorum(self) -> int:
+        """STOPs required to install a new regency."""
+        return 2 * self.f + 1
+
+    @property
+    def cert_quorum(self) -> int:
+        """Signatures required in a block certificate: the paper's
+        ⌊(n+f+1)/2⌋ ≥ 2f+1.
+
+        Weaker than the consensus quorum for non-3f+1 sizes, and sufficient:
+        any certificate carries ≥ f+1 correct signatures, and a correct
+        replica only signs the block it derived from the decided batch, so
+        no conflicting block can gather a second certificate.  It also
+        intersects every (n−f)-recovery group in a correct holder, which is
+        what 0-Persistence needs.
+        """
+        return max(2 * self.f + 1, (self.n + self.f + 1) // 2)
+
+    def leader(self, regency: int) -> int:
+        """Leader replica for ``regency`` (round-robin over members)."""
+        return self.members[regency % self.n]
+
+    def contains(self, replica_id: int) -> bool:
+        return replica_id in self.members
+
+    def with_member(self, replica_id: int) -> "View":
+        """Next view including ``replica_id``."""
+        if replica_id in self.members:
+            raise ViewError(f"replica {replica_id} already in view {self.view_id}")
+        return View(self.view_id + 1, tuple(sorted(self.members + (replica_id,))))
+
+    def without_member(self, replica_id: int) -> "View":
+        """Next view excluding ``replica_id``."""
+        if replica_id not in self.members:
+            raise ViewError(f"replica {replica_id} not in view {self.view_id}")
+        remaining = tuple(m for m in self.members if m != replica_id)
+        return View(self.view_id + 1, remaining)
+
+    def to_canonical(self) -> tuple:
+        return ("view", self.view_id, tuple(self.members))
+
+    def __str__(self) -> str:
+        return f"v{self.view_id}{{{','.join(map(str, self.members))}}}"

@@ -1,0 +1,6 @@
+"""Stable storage substrate: disk timing model and crash-aware stores."""
+
+from repro.storage.disk import Disk, DiskConfig
+from repro.storage.stable import AsyncFlusher, LogEntry, StableStore
+
+__all__ = ["Disk", "DiskConfig", "AsyncFlusher", "LogEntry", "StableStore"]

@@ -1,0 +1,75 @@
+"""Disk timing model.
+
+A single-channel service station parameterized like the paper's testbed disk
+(a 146 GB SCSI HDD): every *synchronous* write pays a fixed stable-write
+latency (seek + rotational + fsync overhead) plus a bandwidth term.  This is
+the physical fact the Dura-SMaRt durability layer exploits: the latency term
+dominates, so syncing ten batches in one write costs almost the same as
+syncing one ("diluting the cost of a synchronous write among many requests",
+Section II-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.resource import Resource
+
+__all__ = ["DiskConfig", "Disk"]
+
+
+@dataclass
+class DiskConfig:
+    """Timing parameters of the stable-storage device."""
+
+    sync_latency: float = 0.0025       # seconds per synchronous barrier (fsync)
+    bandwidth_bytes: float = 100e6     # sequential write bandwidth, bytes/s
+    snapshot_bandwidth_bytes: float = 45e6  # large-snapshot bandwidth, bytes/s
+
+
+class Disk:
+    """A single-channel disk: writes queue FIFO and complete in order."""
+
+    def __init__(self, sim: Simulator, config: DiskConfig | None = None, name: str = "disk"):
+        self.sim = sim
+        self.config = config or DiskConfig()
+        self.channel = Resource(sim, servers=1, name=name)
+        self.bytes_written = 0
+        self.sync_count = 0
+
+    def write(
+        self,
+        nbytes: int,
+        sync: bool,
+        fn: Callable[..., Any] | None = None,
+        *args: Any,
+    ) -> None:
+        """Queue a write of ``nbytes``.
+
+        ``sync=True`` adds the stable-write latency (the write is on stable
+        media when ``fn`` fires); ``sync=False`` models writing into the OS
+        page cache (bandwidth only, still ordered behind earlier writes).
+        """
+        service = nbytes / self.config.bandwidth_bytes
+        if sync:
+            service += self.config.sync_latency
+            self.sync_count += 1
+        self.bytes_written += nbytes
+        self.channel.submit(service, fn, *args)
+
+    def write_snapshot(
+        self,
+        nbytes: int,
+        fn: Callable[..., Any] | None = None,
+        *args: Any,
+    ) -> None:
+        """Queue a large snapshot write at the (lower) snapshot bandwidth."""
+        service = nbytes / self.config.snapshot_bandwidth_bytes + self.config.sync_latency
+        self.bytes_written += nbytes
+        self.sync_count += 1
+        self.channel.submit(service, fn, *args)
+
+    def utilization(self) -> float:
+        return self.channel.utilization()

@@ -1,0 +1,186 @@
+"""Stable storage with explicit sync semantics.
+
+This module is where the paper's durability distinctions become executable:
+
+- data *appended* to a log lives in a volatile buffer (the OS page cache)
+  until a **sync** completes — a crash before the sync loses it;
+- data that a completed sync covers is **stable** — it survives any number of
+  recoverable crashes (Section III: "any data successfully stored in such a
+  device will not be lost in the advent of a recoverable crash fault");
+- an :class:`AsyncFlusher` periodically syncs in the background, which is
+  exactly the paper's *λ-Persistence*: a small, environment-dependent suffix
+  of the history can be lost.
+
+A :class:`StableStore` belongs to a *machine*, not to a replica object: when
+a replica crashes and a new instance recovers on the same machine, it reads
+the survivor state from the machine's store.  Byzantine replicas may truncate
+or corrupt their own store (``corrupt_suffix``), which the model permits —
+stable storage protects against crashes, not against the owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import StorageError
+from repro.sim.engine import Simulator
+from repro.storage.disk import Disk, DiskConfig
+
+__all__ = ["LogEntry", "StableStore", "AsyncFlusher"]
+
+
+@dataclass
+class LogEntry:
+    """One record appended to a named log."""
+
+    payload: Any
+    nbytes: int
+    seq: int = field(default=0)
+
+
+class StableStore:
+    """Named append-only logs and key cells with stable/volatile regions."""
+
+    def __init__(self, sim: Simulator, disk: Disk | None = None,
+                 disk_config: DiskConfig | None = None, name: str = "store"):
+        self.sim = sim
+        self.disk = disk or Disk(sim, disk_config, name=f"{name}.disk")
+        self.name = name
+        self._stable_logs: dict[str, list[LogEntry]] = {}
+        self._volatile_logs: dict[str, list[LogEntry]] = {}
+        self._stable_cells: dict[str, tuple[Any, int]] = {}
+        self._volatile_cells: dict[str, tuple[Any, int]] = {}
+        self._pending_bytes = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, log: str, payload: Any, nbytes: int) -> LogEntry:
+        """Buffer an append to ``log``.  Volatile until a sync covers it."""
+        if nbytes < 0:
+            raise StorageError("entry size must be non-negative")
+        self._seq += 1
+        entry = LogEntry(payload, nbytes, self._seq)
+        self._volatile_logs.setdefault(log, []).append(entry)
+        self._pending_bytes += nbytes
+        return entry
+
+    def put(self, key: str, payload: Any, nbytes: int) -> None:
+        """Buffer a write to a named cell (snapshot pointer, view file, ...)."""
+        self._volatile_cells[key] = (payload, nbytes)
+        self._pending_bytes += nbytes
+
+    def sync(self, fn: Callable[..., Any] | None = None, *args: Any) -> None:
+        """Write every buffered byte to stable media with one barrier.
+
+        All appends and puts issued before this call are stable when ``fn``
+        fires.  This is the group-commit primitive: cost is one sync latency
+        plus the bandwidth term for the accumulated bytes.
+        """
+        # Snapshot the volatile sets now; later appends belong to the next sync.
+        logs = {name: list(entries) for name, entries in self._volatile_logs.items()}
+        cells = dict(self._volatile_cells)
+        nbytes = self._pending_bytes
+        self._volatile_logs.clear()
+        self._volatile_cells.clear()
+        self._pending_bytes = 0
+        self.disk.write(nbytes, True, self._commit, logs, cells, fn, args)
+
+    def write_snapshot(self, key: str, payload: Any, nbytes: int,
+                       fn: Callable[..., Any] | None = None, *args: Any) -> None:
+        """Write a large snapshot directly to stable media (own barrier)."""
+        self.disk.write_snapshot(nbytes, self._commit,
+                                 {}, {key: (payload, nbytes)}, fn, args)
+
+    def _commit(self, logs: dict[str, list[LogEntry]],
+                cells: dict[str, tuple[Any, int]],
+                fn: Callable[..., Any] | None, args: tuple) -> None:
+        for name, entries in logs.items():
+            self._stable_logs.setdefault(name, []).extend(entries)
+        self._stable_cells.update(cells)
+        if fn is not None:
+            fn(*args)
+
+    # ------------------------------------------------------------------
+    # Crash semantics
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Drop everything not yet covered by a completed sync."""
+        self._volatile_logs.clear()
+        self._volatile_cells.clear()
+        self._pending_bytes = 0
+
+    def corrupt_suffix(self, log: str, keep: int) -> list[LogEntry]:
+        """Byzantine owner truncates its own stable log to ``keep`` entries.
+
+        Returns the removed suffix (so adversarial tests can replay it).
+        """
+        entries = self._stable_logs.get(log, [])
+        removed = entries[keep:]
+        self._stable_logs[log] = entries[:keep]
+        return removed
+
+    # ------------------------------------------------------------------
+    # Reads (recovery path — only stable data is visible)
+    # ------------------------------------------------------------------
+    def read_log(self, log: str) -> list[Any]:
+        """Stable entries of ``log``, in append order."""
+        return [entry.payload for entry in self._stable_logs.get(log, [])]
+
+    def read_cell(self, key: str, default: Any = None) -> Any:
+        if key in self._stable_cells:
+            return self._stable_cells[key][0]
+        return default
+
+    def log_length(self, log: str) -> int:
+        return len(self._stable_logs.get(log, []))
+
+    def volatile_length(self, log: str) -> int:
+        return len(self._volatile_logs.get(log, []))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet scheduled for a sync."""
+        return self._pending_bytes
+
+    def stable_bytes(self) -> int:
+        total = sum(e.nbytes for entries in self._stable_logs.values() for e in entries)
+        total += sum(nbytes for _, nbytes in self._stable_cells.values())
+        return total
+
+
+class AsyncFlusher:
+    """Background flusher implementing asynchronous (λ-Persistence) writes.
+
+    Calls :meth:`StableStore.sync` every ``interval`` simulated seconds while
+    there is buffered data.  The loss window after a full crash is therefore
+    bounded by roughly one interval of appended blocks — the paper's small
+    integer λ > 0.
+    """
+
+    def __init__(self, store: StableStore, interval: float = 0.05):
+        self.store = store
+        self.interval = interval
+        self._timer = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.store.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self.store.pending_bytes > 0:
+            self.store.sync()
+        self._timer = self.store.sim.schedule(self.interval, self._tick)

@@ -1,0 +1,23 @@
+"""Workload generation: the paper's MINT/SPEND client methodology."""
+
+from repro.workloads.coingen import (
+    all_minter_addresses,
+    client_address,
+    deploy_clients,
+    endless_mint,
+    endless_spend_cycle,
+    mint_ops,
+    mint_then_spend,
+    spend_ops,
+)
+
+__all__ = [
+    "all_minter_addresses",
+    "client_address",
+    "deploy_clients",
+    "endless_mint",
+    "endless_spend_cycle",
+    "mint_ops",
+    "mint_then_spend",
+    "spend_ops",
+]

@@ -1,0 +1,137 @@
+"""SMaRtCoin workload generators — the paper's two-phase methodology.
+
+Section VI-A: "the experiments were conducted in two phases: the first one is
+composed of MINT operations to generate new coins, and then a second phase
+considers SPEND operations to transfer the generated coins to new addresses.
+Following the UTXO model, this corresponds to single-input, single-output
+SPEND transactions."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.apps.smartcoin import MINT_SIZES, SPEND_SIZES, Wallet
+from repro.clients.client import Client, ClientStation, OpSpec
+
+__all__ = [
+    "mint_ops",
+    "spend_ops",
+    "mint_then_spend",
+    "endless_mint",
+    "deploy_clients",
+    "client_address",
+]
+
+
+def client_address(index: int) -> str:
+    return f"addr:{index}"
+
+
+def mint_ops(wallet: Wallet, count: int, value: int = 1,
+             signed: bool = True) -> Iterator[OpSpec]:
+    """``count`` MINT operations with the paper's request/reply sizes."""
+    for _ in range(count):
+        yield OpSpec(wallet.mint_op(value), size=MINT_SIZES[0],
+                     reply_size=MINT_SIZES[1], signed=signed)
+
+
+def spend_ops(wallet: Wallet, recipient: str, count: int | None = None,
+              signed: bool = True) -> Iterator[OpSpec]:
+    """Single-input single-output SPENDs of coins the wallet owns.
+
+    Stops when the wallet runs dry (or after ``count`` operations).
+    """
+    produced = 0
+    while count is None or produced < count:
+        coin = wallet.take_coin()
+        if coin is None:
+            return
+        produced += 1
+        yield OpSpec(wallet.spend_op(coin, recipient), size=SPEND_SIZES[0],
+                     reply_size=SPEND_SIZES[1], signed=signed)
+
+
+def mint_then_spend(wallet: Wallet, recipient: str, mint_count: int,
+                    signed: bool = True) -> Iterator[OpSpec]:
+    """Phase 1 then phase 2 for one client, chained."""
+    yield from mint_ops(wallet, mint_count, signed=signed)
+    yield from spend_ops(wallet, recipient, signed=signed)
+
+
+def endless_mint(wallet: Wallet, value: int = 1,
+                 signed: bool = True) -> Iterator[OpSpec]:
+    """An open-ended MINT stream (steady-state throughput runs)."""
+    while True:
+        yield OpSpec(wallet.mint_op(value), size=MINT_SIZES[0],
+                     reply_size=MINT_SIZES[1], signed=signed)
+
+
+def endless_spend_cycle(wallet: Wallet, signed: bool = True) -> Iterator[OpSpec]:
+    """Mint a working set once, then spend-to-self forever: a steady-state
+    SPEND stream (each spend's output refills the wallet on completion)."""
+    yield from mint_ops(wallet, 8, signed=signed)
+    while True:
+        coin = wallet.take_coin()
+        if coin is None:
+            # Outputs not yet acknowledged; mint a replacement to keep going.
+            yield OpSpec(wallet.mint_op(1), size=MINT_SIZES[0],
+                         reply_size=MINT_SIZES[1], signed=signed)
+            continue
+        yield OpSpec(wallet.spend_op(coin, wallet.address),
+                     size=SPEND_SIZES[0], reply_size=SPEND_SIZES[1],
+                     signed=signed)
+
+
+def deploy_clients(
+    sim,
+    network,
+    view_of,
+    num_clients: int,
+    num_stations: int = 4,
+    workload: str = "spend",
+    signed: bool = True,
+    station_base: int = 9000,
+    mint_count: int = 8,
+    send_window: float = 0.001,
+) -> tuple[list[ClientStation], list[Wallet]]:
+    """Create the paper's client deployment: ``num_clients`` spread over
+    ``num_stations`` machines, each driving a SMaRtCoin wallet.
+
+    ``workload``: ``"mint"`` (endless mints), ``"spend"`` (mint a working
+    set then spend-cycle — the phase the paper reports), or
+    ``"mint_then_spend"`` (finite two-phase run).
+    """
+    stations = []
+    wallets = []
+    for station_index in range(num_stations):
+        station = ClientStation(sim, network, station_base + station_index,
+                                view_of, send_window=send_window)
+        stations.append(station)
+    for index in range(num_clients):
+        station = stations[index % num_stations]
+        wallet = Wallet(client_address(index))
+        wallets.append(wallet)
+        if workload == "mint":
+            ops = endless_mint(wallet, signed=signed)
+        elif workload == "spend":
+            ops = endless_spend_cycle(wallet, signed=signed)
+        else:
+            ops = mint_then_spend(wallet, client_address((index + 1) % num_clients),
+                                  mint_count, signed=signed)
+        client = Client(station, ops,
+                        on_result=_wallet_tracker(wallet))
+        del client  # adopted by the station
+    return stations, wallets
+
+
+def _wallet_tracker(wallet: Wallet):
+    def track(spec: OpSpec, result) -> None:
+        wallet.note_result(spec.op, result)
+    return track
+
+
+def all_minter_addresses(num_clients: int) -> list[str]:
+    """Genesis minter list covering every workload client."""
+    return [client_address(i) for i in range(num_clients)]

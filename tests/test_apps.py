@@ -1,0 +1,258 @@
+"""Unit + property tests for SMaRtCoin and the KV store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kvstore import KVStore
+from repro.apps.smartcoin import SmartCoin, Wallet, coin_id
+from repro.smr.requests import ClientRequest
+
+
+def request(op, client=1, req=None, _counter=[0]):
+    _counter[0] += 1
+    return ClientRequest(client_id=client, req_id=req or _counter[0], op=op)
+
+
+class TestSmartCoinMint:
+    def test_authorized_mint_creates_coins(self):
+        coin = SmartCoin(minters=["alice"])
+        result, digest = coin.execute(request(("mint", "alice", ((10, 1),))))
+        assert result[0] == "minted"
+        assert coin.balance("alice") == 10
+        assert coin.minted_total == 10
+
+    def test_unauthorized_mint_rejected(self):
+        coin = SmartCoin(minters=["alice"])
+        result, _ = coin.execute(request(("mint", "mallory", ((10, 1),))))
+        assert result[0] == "error"
+        assert coin.balance("mallory") == 0
+        assert coin.rejected == 1
+
+    def test_multi_output_mint(self):
+        coin = SmartCoin(minters=["alice"])
+        result, _ = coin.execute(request(("mint", "alice",
+                                          ((5, 1), (7, 2), (3, 3)))))
+        assert len(result[1]) == 3
+        assert coin.balance("alice") == 15
+
+    def test_non_positive_mint_rejected(self):
+        coin = SmartCoin(minters=["alice"])
+        result, _ = coin.execute(request(("mint", "alice", ((0, 1),))))
+        assert result[0] == "error"
+
+    def test_coin_ids_deterministic(self):
+        assert coin_id(1, 2, 0) == coin_id(1, 2, 0)
+        assert coin_id(1, 2, 0) != coin_id(1, 2, 1)
+        assert coin_id(1, 2, 0) != coin_id(1, 3, 0)
+
+
+class TestSmartCoinSpend:
+    def setup_method(self):
+        self.coin = SmartCoin(minters=["alice"])
+        result, _ = self.coin.execute(
+            request(("mint", "alice", ((10, 1),)), client=1, req=1))
+        self.cid = result[1][0]
+
+    def test_spend_transfers_ownership(self):
+        result, _ = self.coin.execute(
+            request(("spend", "alice", (self.cid,), (("bob", 10),))))
+        assert result[0] == "spent"
+        assert self.coin.balance("bob") == 10
+        assert self.coin.balance("alice") == 0
+
+    def test_double_spend_rejected(self):
+        self.coin.execute(
+            request(("spend", "alice", (self.cid,), (("bob", 10),))))
+        result, _ = self.coin.execute(
+            request(("spend", "alice", (self.cid,), (("carol", 10),))))
+        assert result[0] == "error"
+        assert "double spend" in result[1] or "does not exist" in result[1]
+        assert self.coin.balance("carol") == 0
+
+    def test_spend_of_unowned_coin_rejected(self):
+        result, _ = self.coin.execute(
+            request(("spend", "mallory", (self.cid,), (("mallory", 10),))))
+        assert result[0] == "error"
+        assert self.coin.balance("alice") == 10
+
+    def test_unbalanced_spend_rejected(self):
+        result, _ = self.coin.execute(
+            request(("spend", "alice", (self.cid,), (("bob", 7),))))
+        assert result[0] == "error"
+        result, _ = self.coin.execute(
+            request(("spend", "alice", (self.cid,), (("bob", 17),))))
+        assert result[0] == "error"
+
+    def test_multi_output_spend_splits_value(self):
+        result, _ = self.coin.execute(
+            request(("spend", "alice", (self.cid,),
+                     (("bob", 4), ("carol", 6)))))
+        assert result[0] == "spent"
+        assert self.coin.balance("bob") == 4
+        assert self.coin.balance("carol") == 6
+
+    def test_value_conservation(self):
+        before = self.coin.total_value()
+        self.coin.execute(
+            request(("spend", "alice", (self.cid,), (("bob", 10),))))
+        assert self.coin.total_value() == before
+
+    def test_negative_output_rejected(self):
+        result, _ = self.coin.execute(
+            request(("spend", "alice", (self.cid,),
+                     (("bob", 11), ("carol", -1)))))
+        assert result[0] == "error"
+
+
+class TestSmartCoinState:
+    def test_snapshot_roundtrip(self):
+        coin = SmartCoin(minters=["alice"])
+        coin.execute(request(("mint", "alice", ((3, 1), (4, 2)))))
+        snapshot, nbytes = coin.snapshot()
+        assert nbytes > 0
+        clone = SmartCoin()
+        clone.install_snapshot(snapshot)
+        assert clone.state_digest() == coin.state_digest()
+        assert clone.balance("alice") == 7
+
+    def test_synthetic_state_bytes_inflate_snapshot(self):
+        small = SmartCoin(minters=["a"])
+        big = SmartCoin(minters=["a"], synthetic_state_bytes=10**9)
+        assert big.snapshot()[1] >= 10**9 > small.snapshot()[1]
+
+    def test_unknown_operation_is_error_result(self):
+        coin = SmartCoin()
+        result, _ = coin.execute(request(("transmute", "lead", "gold")))
+        assert result[0] == "error"
+
+    def test_deterministic_execution(self):
+        def run():
+            coin = SmartCoin(minters=["m"])
+            coin.execute(request(("mint", "m", ((5, 1),)), client=9, req=1))
+            coins = coin.coins_of("m")
+            coin.execute(ClientRequest(9, 2, ("spend", "m", tuple(coins),
+                                              (("x", 5),))))
+            return coin.state_digest()
+
+        assert run() == run()
+
+    def test_balance_query(self):
+        coin = SmartCoin(minters=["m"])
+        coin.execute(request(("mint", "m", ((5, 1),))))
+        result, _ = coin.execute(request(("balance", "m")))
+        assert result == 5
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                    max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_value_equals_mints(self, values):
+        coin = SmartCoin(minters=["m"])
+        for index, value in enumerate(values):
+            coin.execute(ClientRequest(1, index + 1,
+                                       ("mint", "m", ((value, index),))))
+        assert coin.total_value() == sum(values)
+        assert coin.balance("m") == sum(values)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_spends_preserve_value(self, data):
+        coin = SmartCoin(minters=["m"])
+        count = data.draw(st.integers(min_value=1, max_value=8))
+        for index in range(count):
+            coin.execute(ClientRequest(1, index + 1, ("mint", "m", ((10, index),))))
+        total = coin.total_value()
+        owned = coin.coins_of("m")
+        spends = data.draw(st.integers(min_value=0, max_value=len(owned)))
+        for index, cid in enumerate(owned[:spends]):
+            coin.execute(ClientRequest(2, index + 1,
+                                       ("spend", "m", (cid,), ((f"r{index}", 10),))))
+        assert coin.total_value() == total
+
+
+class TestWallet:
+    def test_wallet_tracks_minted_coins(self):
+        coin = SmartCoin(minters=["w"])
+        wallet = Wallet("w")
+        op = wallet.mint_op(5, count=2)
+        result, _ = coin.execute(request(op))
+        wallet.note_result(op, result)
+        assert len(wallet.owned) == 2
+        assert wallet.owned[0][1] == 5
+
+    def test_wallet_spend_removes_coin(self):
+        coin = SmartCoin(minters=["w"])
+        wallet = Wallet("w")
+        op = wallet.mint_op(5)
+        result, _ = coin.execute(request(op))
+        wallet.note_result(op, result)
+        coin_entry = wallet.take_coin()
+        spend = wallet.spend_op(coin_entry, "other")
+        result, _ = coin.execute(request(spend))
+        assert result[0] == "spent"
+        wallet.note_result(spend, result)
+        assert wallet.take_coin() is None
+
+    def test_error_results_do_not_corrupt_wallet(self):
+        wallet = Wallet("w")
+        wallet.note_result(wallet.mint_op(5), ("error", "nope"))
+        assert wallet.owned == []
+
+
+class TestKVStore:
+    def test_put_get_del(self):
+        kv = KVStore()
+        result, _ = kv.execute(request(("put", "k", 1)))
+        assert result is None
+        result, _ = kv.execute(request(("get", "k")))
+        assert result == 1
+        result, _ = kv.execute(request(("del", "k")))
+        assert result == 1
+        result, _ = kv.execute(request(("get", "k")))
+        assert result is None
+
+    def test_put_returns_previous(self):
+        kv = KVStore()
+        kv.execute(request(("put", "k", 1)))
+        result, _ = kv.execute(request(("put", "k", 2)))
+        assert result == 1
+
+    def test_cas(self):
+        kv = KVStore()
+        kv.execute(request(("put", "k", 1)))
+        ok, _ = kv.execute(request(("cas", "k", 1, 2)))
+        assert ok is True
+        bad, _ = kv.execute(request(("cas", "k", 1, 3)))
+        assert bad is False
+        assert kv.data["k"] == 2
+
+    def test_unknown_op(self):
+        kv = KVStore()
+        result, _ = kv.execute(request(("boom",)))
+        assert result[0] == "error"
+
+    def test_snapshot_roundtrip(self):
+        kv = KVStore()
+        kv.execute(request(("put", "a", 1)))
+        kv.execute(request(("put", "b", 2)))
+        snapshot, nbytes = kv.snapshot()
+        clone = KVStore()
+        clone.install_snapshot(snapshot)
+        assert clone.state_digest() == kv.state_digest()
+
+    def test_result_digests_differ_per_request(self):
+        kv = KVStore()
+        _, d1 = kv.execute(request(("put", "k", 1), client=1, req=100))
+        _, d2 = kv.execute(request(("put", "k", 1), client=2, req=100))
+        assert d1 != d2
+
+    @given(st.lists(st.tuples(st.text(max_size=5), st.integers()),
+                    max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_dict_semantics(self, puts):
+        kv = KVStore()
+        model = {}
+        for index, (key, value) in enumerate(puts):
+            kv.execute(ClientRequest(1, index + 1, ("put", key, value)))
+            model[key] = value
+        assert kv.data == model

@@ -1,0 +1,138 @@
+"""Client station tests: quorum matching, resends, closed-loop pacing."""
+
+import pytest
+
+from repro.clients.client import Client, ClientStation, OpSpec
+from repro.smr.requests import ReplyBatchMsg
+from repro.crypto.hashing import hash_obj
+
+from tests.helpers import kv_ops, make_cluster, station_with_clients
+
+
+class TestQuorumMatching:
+    def test_request_completes_at_reply_quorum(self):
+        """3 matching replies (of n=4, f=1) complete an invocation; fewer
+        do not."""
+        sim, network, view, replicas, apps = make_cluster(seed=121)
+        station = ClientStation(sim, network, 900, lambda: view)
+        done = []
+        client = Client(station, iter([OpSpec(("get", "x"))]),
+                        on_result=lambda s, r: done.append(r))
+        client.start()
+        key = next(iter(station.outstanding))
+        digest = hash_obj("match")
+        for replica_id in (0, 1):
+            station._on_message(replica_id, ReplyBatchMsg(
+                replica_id=replica_id, results={key: ("v", digest)}))
+        assert not done  # 2 < quorum 3
+        station._on_message(2, ReplyBatchMsg(
+            replica_id=2, results={key: ("v", digest)}))
+        assert done == ["v"]
+
+    def test_divergent_replies_do_not_complete(self):
+        """A Byzantine replica sending a different result cannot make the
+        client accept it."""
+        sim, network, view, replicas, apps = make_cluster(seed=122)
+        station = ClientStation(sim, network, 900, lambda: view)
+        done = []
+        client = Client(station, iter([OpSpec(("get", "x"))]),
+                        on_result=lambda s, r: done.append(r))
+        client.start()
+        key = next(iter(station.outstanding))
+        for replica_id in range(3):
+            station._on_message(replica_id, ReplyBatchMsg(
+                replica_id=replica_id,
+                results={key: (f"evil-{replica_id}",
+                               hash_obj(f"evil-{replica_id}"))}))
+        assert not done
+
+    def test_duplicate_replies_from_same_replica_ignored(self):
+        sim, network, view, replicas, apps = make_cluster(seed=123)
+        station = ClientStation(sim, network, 900, lambda: view)
+        done = []
+        client = Client(station, iter([OpSpec(("get", "x"))]),
+                        on_result=lambda s, r: done.append(r))
+        client.start()
+        key = next(iter(station.outstanding))
+        digest = hash_obj("v")
+        for _ in range(5):
+            station._on_message(0, ReplyBatchMsg(
+                replica_id=0, results={key: ("v", digest)}))
+        assert not done
+
+    def test_late_replies_after_completion_ignored(self):
+        sim, network, view, replicas, apps = make_cluster(seed=124)
+        station = ClientStation(sim, network, 900, lambda: view)
+        client = Client(station, iter([OpSpec(("get", "x"))]))
+        client.start()
+        key = next(iter(station.outstanding))
+        digest = hash_obj("v")
+        for replica_id in range(4):
+            station._on_message(replica_id, ReplyBatchMsg(
+                replica_id=replica_id, results={key: ("v", digest)}))
+        assert key not in station.outstanding  # no crash on the 4th
+
+
+class TestClosedLoop:
+    def test_one_outstanding_request_per_client(self):
+        sim, network, view, replicas, apps = make_cluster(seed=125)
+        station = station_with_clients(sim, network, lambda: view, 1,
+                                       lambda i: kv_ops("c", 10))
+        station.start_all()
+        max_outstanding = [0]
+
+        def watch():
+            max_outstanding[0] = max(max_outstanding[0],
+                                     len(station.outstanding))
+            sim.schedule(0.001, watch)
+
+        sim.schedule(0.0, watch)
+        sim.run(until=5.0)
+        assert station.meter.total == 10
+        assert max_outstanding[0] == 1
+
+    def test_think_time_paces_clients(self):
+        sim, network, view, replicas, apps = make_cluster(seed=126)
+        station = ClientStation(sim, network, 900, lambda: view)
+        Client(station, kv_ops("t", 5), think_time=0.5)
+        station.start_all()
+        sim.run(until=10.0)
+        assert station.meter.total == 5
+        assert sim.now >= 2.0  # 4 think gaps of 0.5 s
+
+    def test_latency_recorded_per_request(self):
+        sim, network, view, replicas, apps = make_cluster(seed=127)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"l{i}", 5))
+        station.start_all()
+        sim.run(until=5.0)
+        assert station.latency.count == 10
+        assert station.latency.mean() > 0
+
+    def test_all_done_flag(self):
+        sim, network, view, replicas, apps = make_cluster(seed=128)
+        station = station_with_clients(sim, network, lambda: view, 3,
+                                       lambda i: kv_ops(f"d{i}", 2))
+        assert not station.all_done
+        station.start_all()
+        sim.run(until=5.0)
+        assert station.all_done
+
+
+class TestResend:
+    def test_resend_recovers_lost_requests(self):
+        """If the initial request batch is lost, the resend timer pushes it
+        again and the request still completes."""
+        sim, network, view, replicas, apps = make_cluster(seed=129)
+        station = ClientStation(sim, network, 900, lambda: view,
+                                resend_timeout=0.5)
+        Client(station, kv_ops("r", 3))
+        # Drop ALL station traffic for the first 0.3 s.
+        for replica_id in view.members:
+            network.set_drop_probability(900, replica_id, 1.0)
+        sim.schedule(0.3, lambda: [
+            network.set_drop_probability(900, rid, 0.0)
+            for rid in view.members])
+        station.start_all()
+        sim.run(until=10.0)
+        assert station.meter.total == 3

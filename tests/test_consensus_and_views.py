@@ -1,0 +1,185 @@
+"""Unit tests for the consensus instance state machine and views."""
+
+import pytest
+
+from repro.consensus.instance import ConsensusInstance, Phase
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ViewError
+from repro.smr.views import View
+
+
+def make_instance(quorum=3):
+    return ConsensusInstance(cid=1, quorum=quorum)
+
+
+def sig(registry, label, payload=b"x"):
+    return registry.generate(label).sign(payload)
+
+
+class TestInstance:
+    def test_initial_phase_idle(self):
+        instance = make_instance()
+        assert instance.phase is Phase.IDLE
+        assert not instance.decided
+
+    def test_propose_triggers_write(self):
+        instance = make_instance()
+        assert instance.on_propose(0, ["req"], b"h1") is True
+        assert instance.phase is Phase.PROPOSED
+
+    def test_duplicate_propose_ignored(self):
+        instance = make_instance()
+        instance.on_propose(0, ["req"], b"h1")
+        assert instance.on_propose(0, ["req"], b"h1") is False
+
+    def test_conflicting_propose_ignored(self):
+        """A Byzantine leader equivocating does not confuse the instance."""
+        instance = make_instance()
+        instance.on_propose(0, ["a"], b"h1")
+        assert instance.on_propose(0, ["b"], b"h2") is False
+        assert instance.batch_hash == b"h1"
+
+    def test_write_quorum_triggers_accept(self):
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        assert instance.on_write(0, b"h1") is False
+        assert instance.on_write(1, b"h1") is False
+        assert instance.on_write(2, b"h1") is True
+        assert instance.phase is Phase.ACCEPTED
+
+    def test_duplicate_writes_not_counted(self):
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        for _ in range(5):
+            assert instance.on_write(0, b"h1") is False
+
+    def test_writes_for_other_hash_do_not_advance(self):
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        for sender in range(3):
+            assert instance.on_write(sender, b"other") is False
+        assert instance.phase is Phase.PROPOSED
+
+    def test_write_quorum_without_proposal_waits(self):
+        instance = make_instance(quorum=3)
+        for sender in range(3):
+            instance.on_write(sender, b"h1")
+        assert instance.phase is Phase.IDLE  # no batch yet
+
+    def test_accept_quorum_decides(self):
+        registry = KeyRegistry(1)
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        decisions = []
+        for sender in range(3):
+            decided = instance.on_accept(sender, b"h1",
+                                         sig(registry, f"r{sender}"))
+            decisions.append(decided)
+        assert decisions == [False, False, True]
+        assert instance.decided
+        assert instance.decided_hash == b"h1"
+
+    def test_decision_proof_has_quorum_signatures(self):
+        registry = KeyRegistry(1)
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        for sender in range(3):
+            instance.on_accept(sender, b"h1", sig(registry, f"r{sender}"))
+        proof = instance.decision_proof()
+        assert len(proof) == 3
+        assert set(proof) == {0, 1, 2}
+
+    def test_accepts_for_minority_hash_never_decide(self):
+        registry = KeyRegistry(1)
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        instance.on_accept(0, b"evil", sig(registry, "e0"))
+        instance.on_accept(1, b"evil", sig(registry, "e1"))
+        assert not instance.decided
+
+    def test_writeset_recorded_on_accept_sent(self):
+        instance = make_instance(quorum=3)
+        instance.on_propose(2, ["req"], b"h1")
+        instance.record_accept_sent(2)
+        assert instance.writeset == (2, b"h1", ["req"])
+
+    def test_reset_for_regency_preserves_writeset(self):
+        instance = make_instance(quorum=3)
+        instance.on_propose(1, ["req"], b"h1")
+        instance.record_accept_sent(1)
+        for sender in range(2):
+            instance.on_write(sender, b"h1")
+        instance.reset_for_regency(2)
+        assert instance.phase is Phase.IDLE
+        assert instance.batch is None
+        assert instance.writeset == (1, b"h1", ["req"])
+        assert instance.write_count(b"h1") == 0
+
+    def test_no_decision_after_reset_until_requorum(self):
+        registry = KeyRegistry(1)
+        instance = make_instance(quorum=3)
+        instance.on_propose(0, ["req"], b"h1")
+        instance.on_accept(0, b"h1", sig(registry, "a"))
+        instance.reset_for_regency(1)
+        instance.on_propose(1, ["req"], b"h1")
+        instance.on_accept(1, b"h1", sig(registry, "b"))
+        instance.on_accept(2, b"h1", sig(registry, "c"))
+        assert not instance.decided  # needs a fresh quorum of 3
+
+
+class TestView:
+    def test_failure_threshold(self):
+        assert View(0, (0, 1, 2, 3)).f == 1
+        assert View(0, tuple(range(7))).f == 2
+        assert View(0, tuple(range(10))).f == 3
+
+    def test_quorums_match_paper(self):
+        # ⌈(n+f+1)/2⌉: 3 of 4, 5 of 7, 7 of 10.
+        assert View(0, tuple(range(4))).quorum == 3
+        assert View(0, tuple(range(7))).quorum == 5
+        assert View(0, tuple(range(10))).quorum == 7
+
+    def test_stop_quorum_is_2f_plus_1(self):
+        assert View(0, tuple(range(4))).stop_quorum == 3
+        assert View(0, tuple(range(10))).stop_quorum == 7
+
+    def test_leader_rotation(self):
+        view = View(0, (10, 20, 30, 40))
+        assert view.leader(0) == 10
+        assert view.leader(1) == 20
+        assert view.leader(4) == 10
+
+    def test_with_member(self):
+        view = View(0, (0, 1, 2, 3))
+        bigger = view.with_member(9)
+        assert bigger.view_id == 1
+        assert bigger.members == (0, 1, 2, 3, 9)
+        with pytest.raises(ViewError):
+            bigger.with_member(9)
+
+    def test_without_member(self):
+        view = View(3, (0, 1, 2, 3))
+        smaller = view.without_member(2)
+        assert smaller.view_id == 4
+        assert smaller.members == (0, 1, 3)
+        with pytest.raises(ViewError):
+            smaller.without_member(2)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ViewError):
+            View(0, (1, 1, 2))
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(ViewError):
+            View(0, ())
+
+    def test_contains(self):
+        view = View(0, (5, 6))
+        assert view.contains(5)
+        assert not view.contains(7)
+
+    def test_views_are_immutable_and_hashable(self):
+        view = View(0, (0, 1, 2, 3))
+        assert hash(view) == hash(View(0, (0, 1, 2, 3)))
+        with pytest.raises(Exception):
+            view.view_id = 5

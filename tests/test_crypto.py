@@ -1,0 +1,169 @@
+"""Unit + property tests for the crypto substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    EMPTY_DIGEST,
+    canonical_bytes,
+    digest,
+    hash_obj,
+)
+from repro.crypto.keys import KeyPair, KeyRegistry, Signature
+from repro.crypto.merkle import MerkleTree, merkle_root
+from repro.errors import CryptoError
+
+
+class TestKeys:
+    def test_sign_verify_roundtrip(self):
+        registry = KeyRegistry(1)
+        key = registry.generate("alice")
+        signature = key.sign(b"payload")
+        assert registry.verify(key.public, b"payload", signature)
+
+    def test_wrong_payload_fails(self):
+        registry = KeyRegistry(1)
+        key = registry.generate()
+        signature = key.sign(b"payload")
+        assert not registry.verify(key.public, b"other", signature)
+
+    def test_wrong_key_fails(self):
+        registry = KeyRegistry(1)
+        alice, bob = registry.generate("a"), registry.generate("b")
+        signature = alice.sign(b"payload")
+        assert not registry.verify(bob.public, b"payload", signature)
+
+    def test_signer_mismatch_fails(self):
+        registry = KeyRegistry(1)
+        alice, bob = registry.generate("a"), registry.generate("b")
+        signature = alice.sign(b"payload")
+        forged = Signature(bob.public, signature.value)
+        assert not registry.verify(bob.public, b"payload", forged)
+
+    def test_unknown_key_fails(self):
+        registry = KeyRegistry(1)
+        key = registry.generate()
+        signature = key.sign(b"x")
+        assert not registry.verify("deadbeef", b"x", signature)
+
+    def test_keys_are_distinct(self):
+        registry = KeyRegistry(1)
+        publics = {registry.generate().public for _ in range(50)}
+        assert len(publics) == 50
+
+    def test_erased_key_cannot_sign(self):
+        registry = KeyRegistry(1)
+        key = registry.generate()
+        key.erase()
+        assert key.is_erased
+        with pytest.raises(CryptoError):
+            key.sign(b"x")
+
+    def test_erasure_preserves_old_signatures(self):
+        """The forgetting protocol: past signatures stay verifiable, new
+        ones become impossible."""
+        registry = KeyRegistry(1)
+        key = registry.generate()
+        signature = key.sign(b"block-header")
+        key.erase()
+        assert registry.verify(key.public, b"block-header", signature)
+
+    def test_deterministic_generation_per_seed(self):
+        a = KeyRegistry(7).generate("x")
+        b = KeyRegistry(7).generate("x")
+        assert a.public == b.public
+
+
+class TestCanonicalEncoding:
+    def test_basic_types(self):
+        for value in (None, True, False, 0, -5, 3.25, "text", b"bytes",
+                      (1, 2), [1, 2], {"k": "v"}):
+            assert isinstance(canonical_bytes(value), bytes)
+
+    def test_deterministic_dict_ordering(self):
+        a = canonical_bytes({"b": 2, "a": 1})
+        b = canonical_bytes({"a": 1, "b": 2})
+        assert a == b
+
+    def test_structural_distinction(self):
+        assert canonical_bytes(["ab"]) != canonical_bytes(["a", "b"])
+        assert canonical_bytes("1") != canonical_bytes(1)
+        assert canonical_bytes((1,)) != canonical_bytes(1)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(CryptoError):
+            canonical_bytes(object())
+
+    def test_to_canonical_hook(self):
+        class Thing:
+            def to_canonical(self):
+                return ("thing", 42)
+
+        assert canonical_bytes(Thing()) == canonical_bytes(("thing", 42))
+
+    def test_hash_obj_is_sha256(self):
+        assert len(hash_obj("x")) == 32
+        assert hash_obj("x") == digest(canonical_bytes("x"))
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers() | st.text() | st.binary(),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=12))
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_is_injective_on_samples(self, value):
+        # Same value encodes identically; a structural wrapper changes it.
+        assert canonical_bytes(value) == canonical_bytes(value)
+        assert canonical_bytes([value]) != canonical_bytes([[value]])
+
+
+class TestMerkle:
+    def test_empty_tree_root(self):
+        assert merkle_root([]) == EMPTY_DIGEST
+
+    def test_single_leaf(self):
+        tree = MerkleTree(["only"])
+        assert tree.root == hash_obj("only")
+
+    def test_proof_verification(self):
+        items = [f"tx-{i}" for i in range(7)]
+        tree = MerkleTree(items)
+        for index, item in enumerate(items):
+            proof = tree.proof(index)
+            assert MerkleTree.verify(tree.root, item, proof)
+
+    def test_proof_fails_for_wrong_item(self):
+        items = ["a", "b", "c", "d"]
+        tree = MerkleTree(items)
+        proof = tree.proof(1)
+        assert not MerkleTree.verify(tree.root, "x", proof)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree_a = MerkleTree(["a", "b", "c"])
+        tree_b = MerkleTree(["a", "b", "d"])
+        proof = tree_a.proof(0)
+        assert not MerkleTree.verify(tree_b.root, "a", proof)
+
+    def test_root_changes_with_any_item(self):
+        base = merkle_root(["a", "b", "c", "d"])
+        for index in range(4):
+            items = ["a", "b", "c", "d"]
+            items[index] = "tampered"
+            assert merkle_root(items) != base
+
+    def test_order_matters(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+    def test_out_of_range_proof_rejected(self):
+        tree = MerkleTree(["a"])
+        with pytest.raises(CryptoError):
+            tree.proof(1)
+
+    @given(st.lists(st.text(min_size=1), min_size=1, max_size=33),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_every_leaf_provable(self, items, index_seed):
+        tree = MerkleTree(items)
+        index = index_seed % len(items)
+        proof = tree.proof(index)
+        assert MerkleTree.verify(tree.root, items[index], proof)

@@ -1,0 +1,158 @@
+"""Dura-SMaRt durability layer and naive app-level blockchain tests."""
+
+import pytest
+
+from repro.apps.naive import NaiveBlockchainDelivery
+from repro.apps.smartcoin import SmartCoin
+from repro.config import SMRConfig, StorageMode
+from repro.smr.durability import DuraSmartDelivery
+
+from tests.helpers import kv_ops, make_cluster, station_with_clients
+
+
+def dura_cluster(storage=StorageMode.SYNC, seed=1, checkpoint_every=0,
+                 config=None):
+    return make_cluster(
+        seed=seed,
+        config=config,
+        delivery_factory=lambda app: DuraSmartDelivery(
+            app, storage, checkpoint_every=checkpoint_every))
+
+
+class TestDuraSmart:
+    def test_replies_only_after_stable_write(self):
+        sim, network, view, replicas, apps = dura_cluster(seed=101)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"c{i}", 5))
+        station.start_all()
+        sim.run(until=10.0)
+        assert station.meter.total == 10
+        # Everything acknowledged is in the stable log.
+        assert replicas[0].store.log_length(DuraSmartDelivery.LOG) >= 1
+
+    def test_group_commit_accumulates_under_bursts(self):
+        config = SMRConfig(n=4, f=1, batch_size=4, max_pending_decisions=10)
+        sim, network, view, replicas, apps = dura_cluster(seed=102,
+                                                          config=config)
+        station = station_with_clients(sim, network, lambda: view, 40,
+                                       lambda i: kv_ops(f"g{i}", 5))
+        station.start_all()
+        sim.run(until=15.0)
+        groups = replicas[0].delivery.group_sizes
+        assert station.meter.total == 200
+        assert max(groups) > 1, "group commit never batched"
+
+    def test_recovery_replays_stable_log(self):
+        sim, network, view, replicas, apps = dura_cluster(seed=103)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"r{i}", 10))
+        station.start_all()
+        sim.run(until=5.0)
+        target = apps[1].state_digest()
+        replica = replicas[1]
+        replica.crash()
+        recovered_cid = replica.delivery.recover_local()
+        assert recovered_cid >= 0
+        assert apps[1].state_digest() == target
+
+    def test_recovery_with_checkpoint_replays_suffix_only(self):
+        sim, network, view, replicas, apps = dura_cluster(
+            seed=104, checkpoint_every=2)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"k{i}", 12))
+        station.start_all()
+        sim.run(until=8.0)
+        target = apps[0].state_digest()
+        replica = replicas[0]
+        replica.crash()
+        assert replica.store.read_cell(DuraSmartDelivery.SNAPSHOT) is not None
+        replica.delivery.recover_local()
+        assert apps[0].state_digest() == target
+
+    def test_async_mode_data_lags_stable_media(self):
+        sim, network, view, replicas, apps = dura_cluster(
+            storage=StorageMode.ASYNC, seed=105)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"a{i}", 5))
+        station.start_all()
+        sim.run(until=10.0)
+        assert station.meter.total == 10
+        # The flusher made it stable eventually.
+        assert replicas[0].store.log_length(DuraSmartDelivery.LOG) >= 1
+
+    def test_memory_mode_keeps_nothing(self):
+        sim, network, view, replicas, apps = dura_cluster(
+            storage=StorageMode.MEMORY, seed=106)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"m{i}", 5))
+        station.start_all()
+        sim.run(until=10.0)
+        assert station.meter.total == 10
+        assert replicas[0].store.log_length(DuraSmartDelivery.LOG) == 0
+
+
+def naive_cluster(storage=StorageMode.SYNC, seed=1):
+    return make_cluster(
+        seed=seed,
+        delivery_factory=lambda app: NaiveBlockchainDelivery(app, storage))
+
+
+class TestNaiveBlockchain:
+    def test_builds_hash_chained_blocks(self):
+        sim, network, view, replicas, apps = naive_cluster(seed=111)
+        station = station_with_clients(sim, network, lambda: view, 3,
+                                       lambda i: kv_ops(f"n{i}", 8))
+        station.start_all()
+        sim.run(until=10.0)
+        chain = replicas[0].delivery.chain
+        assert chain
+        for previous, current in zip(chain, chain[1:]):
+            assert current["prev"] == previous["hash"]
+            assert current["number"] == previous["number"] + 1
+
+    def test_chains_identical_across_replicas(self):
+        sim, network, view, replicas, apps = naive_cluster(seed=112)
+        station = station_with_clients(sim, network, lambda: view, 3,
+                                       lambda i: kv_ops(f"e{i}", 6))
+        station.start_all()
+        sim.run(until=10.0)
+        hashes = [tuple(b["hash"] for b in r.delivery.chain)
+                  for r in replicas]
+        assert hashes[0] == hashes[1] == hashes[2] == hashes[3]
+
+    def test_sync_mode_persists_before_reply(self):
+        sim, network, view, replicas, apps = naive_cluster(seed=113)
+        station = station_with_clients(sim, network, lambda: view, 1,
+                                       lambda i: kv_ops("s", 5))
+        station.start_all()
+        sim.run(until=10.0)
+        assert station.meter.total == 5
+        stable = replicas[0].store.read_log(NaiveBlockchainDelivery.LOG)
+        executed = sum(len(b["transactions"]) for b in stable)
+        assert executed == 5
+
+    def test_local_recovery_restores_chain_height(self):
+        sim, network, view, replicas, apps = naive_cluster(seed=114)
+        station = station_with_clients(sim, network, lambda: view, 2,
+                                       lambda i: kv_ops(f"q{i}", 6))
+        station.start_all()
+        sim.run(until=10.0)
+        replica = replicas[2]
+        height = len(replica.delivery.chain)
+        assert height > 0
+        replica.crash()
+        assert replica.delivery.chain == []
+        recovered_cid = replica.delivery.recover_local()
+        assert len(replica.delivery.chain) == height
+        assert recovered_cid >= 0
+
+    def test_memory_mode_loses_chain_on_crash(self):
+        sim, network, view, replicas, apps = naive_cluster(
+            storage=StorageMode.MEMORY, seed=115)
+        station = station_with_clients(sim, network, lambda: view, 1,
+                                       lambda i: kv_ops("m", 4))
+        station.start_all()
+        sim.run(until=10.0)
+        replica = replicas[0]
+        replica.crash()
+        assert replica.delivery.recover_local() == -1

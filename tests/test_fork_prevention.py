@@ -1,0 +1,173 @@
+"""The Figure 4 attack and the forgetting protocol that defeats it.
+
+Scenario (paper, Section V-D): nodes are removed from the consortium over a
+sequence of reconfigurations; later, an adversary compromises those removed
+nodes.  With permanent signing keys the adversary could assemble a quorum of
+old members and forge an alternative suffix branching off before the
+reconfiguration block.  With per-view consensus keys + erasure, compromising
+an old member yields nothing: the keys that could vouch for old-view blocks
+no longer exist.
+"""
+
+import pytest
+
+from repro.clients.client import Client
+from repro.crypto.keys import Signature
+from repro.errors import VerificationError
+from repro.ledger import (
+    Block,
+    BlockBody,
+    BlockHeader,
+    Certificate,
+    ChainVerifier,
+    TxRecord,
+)
+from repro.crypto.hashing import hash_obj
+
+from tests.helpers import attach_station, make_consortium, mint_ops_simple
+
+
+@pytest.fixture(scope="module")
+def reconfigured_chain():
+    """Run a consortium through an exclusion, so views rotate."""
+    consortium = make_consortium(seed=51, checkpoint_period=100)
+    station = attach_station(consortium)
+    Client(station, mint_ops_simple(12))
+    station.start_all()
+    sim = consortium.sim
+    # Exclude node 3 mid-run: views rotate 0 -> 1, keys are erased.
+    def exclude():
+        for nid in (0, 1, 2):
+            consortium.node(nid).vote_exclude(3)
+    sim.schedule(2.0, exclude)
+    Client(station, mint_ops_simple(10))
+    sim.run(until=12.0)
+    assert consortium.node(0).view.view_id == 1
+    return consortium
+
+
+class TestForgetting:
+    def test_old_view_keys_are_erased(self, reconfigured_chain):
+        consortium = reconfigured_chain
+        for nid in (0, 1, 2):
+            replica = consortium.node(nid).replica
+            assert replica.consensus_keys[0].is_erased
+            assert not replica.consensus_keys[1].is_erased
+
+    def test_removed_member_cannot_vouch_for_new_blocks(self,
+                                                        reconfigured_chain):
+        consortium = reconfigured_chain
+        removed = consortium.node(3).replica
+        # Node 3 generated a view-1 key while voting, but it was excluded; its
+        # view-0 key (the one that could rewrite history) is gone.
+        assert removed.consensus_keys[0].is_erased
+
+    def test_reconfigured_chain_verifies(self, reconfigured_chain):
+        consortium = reconfigured_chain
+        verifier = ChainVerifier(consortium.registry, consortium.genesis,
+                                 uncertified_tail=1)
+        report = verifier.verify_records(consortium.node(0).chain_records())
+        assert report.reconfigurations == 1
+        assert report.final_view.view_id == 1
+        assert report.final_view.members == (0, 1, 2)
+
+
+class TestFigureFourAttack:
+    def _forge_suffix(self, consortium, fork_at: int, signer_keys):
+        """Build a forged block extending the chain at height ``fork_at``
+        (dropping everything after it), certified with ``signer_keys``."""
+        base = consortium.node(0).delivery.chain
+        prev_digest = (base.get(fork_at).digest() if fork_at >= 1
+                       else consortium.genesis.hash_for_block_one)
+        evil_tx = TxRecord(6666, 1, ("mint", "attacker", ((10**9, 1),)), 180)
+        body = BlockBody(
+            consensus_id=fork_at,  # pretends to be the next consensus
+            transactions=[evil_tx],
+            results=[(6666, 1, "('minted', ('loot',))", b"ok")],
+            batch_hash=hash_obj(("forged-batch",)),
+        )
+        header = BlockHeader(
+            number=fork_at + 1,
+            last_reconfig=base.get(fork_at).header.last_reconfig,
+            last_checkpoint=base.get(fork_at).header.last_checkpoint,
+            view_id=base.get(fork_at).header.view_id,
+            hash_transactions=body.hash_transactions(),
+            hash_results=body.hash_results(),
+            hash_last_block=prev_digest,
+        )
+        block = Block(header, body)
+        certificate = Certificate(block.number, block.digest(),
+                                  header.view_id)
+        for replica_id, key in signer_keys:
+            certificate.add(replica_id, key.sign(block.digest()))
+        block.certificate = certificate
+        honest_prefix = [b.to_record() for b in base.blocks(end=fork_at)]
+        return honest_prefix + [block.to_record()]
+
+    def test_fork_with_fresh_attacker_keys_rejected(self, reconfigured_chain):
+        """Attacker keys were never recorded on the chain: zero valid
+        certificate signatures."""
+        consortium = reconfigured_chain
+        reconfig_block = consortium.node(0).delivery.last_reconfig
+        fork_at = reconfig_block - 1
+        attacker_keys = [(rid, consortium.registry.generate(f"atk-{rid}"))
+                         for rid in (1, 2, 3)]
+        forged = self._forge_suffix(consortium, fork_at, attacker_keys)
+        verifier = ChainVerifier(consortium.registry, consortium.genesis)
+        with pytest.raises(VerificationError):
+            verifier.verify_records(forged)
+
+    def test_fork_with_compromised_permanent_keys_rejected(
+            self, reconfigured_chain):
+        """Figure 4 proper: the adversary captures old members AFTER the
+        reconfiguration and tries to extend the old view's chain without the
+        reconfiguration block.  Permanent keys don't certify blocks, and the
+        erased consensus keys cannot sign — the fork cannot be built."""
+        consortium = reconfigured_chain
+        fork_at = consortium.node(0).delivery.last_reconfig - 1
+        # "Compromise": take the permanent keys of members 1, 2, 3.
+        stolen = [(rid, consortium.node(rid).replica.permanent_key)
+                  for rid in (1, 2, 3)]
+        forged = self._forge_suffix(consortium, fork_at, stolen)
+        verifier = ChainVerifier(consortium.registry, consortium.genesis)
+        with pytest.raises(VerificationError):
+            verifier.verify_records(forged)
+
+    def test_erased_consensus_keys_cannot_sign_at_all(self,
+                                                      reconfigured_chain):
+        """The stronger statement: the material needed to forge a valid
+        old-view certificate no longer exists anywhere."""
+        consortium = reconfigured_chain
+        from repro.errors import CryptoError
+        for nid in (0, 1, 2, 3):
+            key = consortium.node(nid).replica.consensus_keys[0]
+            with pytest.raises(CryptoError):
+                key.sign(b"forged block header")
+
+    def test_counterfactual_unerased_keys_would_have_forked(
+            self, reconfigured_chain):
+        """Sanity check that the attack is real: if consensus keys were NOT
+        erased, compromised old members could mint a verifying fork."""
+        consortium = reconfigured_chain
+        fork_at = consortium.node(0).delivery.last_reconfig - 1
+        # Counterfactual: regenerate the registry-side material by creating
+        # a parallel world where the view-0 keys survived.  We simulate it
+        # by reaching into the key directory for view 0 publics and signing
+        # with hypothetical surviving keys — impossible in the real system,
+        # so we emulate by building a fresh consortium without rotation.
+        from tests.helpers import make_consortium as fresh
+        naive = fresh(seed=51, checkpoint_period=100)
+        station = attach_station(naive)
+        Client(station, mint_ops_simple(12))
+        station.start_all()
+        naive.sim.run(until=5.0)
+        # Keys not erased (no reconfiguration ran): an attacker holding them
+        # CAN certify an alternative block — and it verifies.
+        keys = [(nid, naive.node(nid).replica.consensus_keys[0])
+                for nid in (1, 2, 3)]
+        forged = TestFigureFourAttack._forge_suffix(
+            self, naive, naive.node(0).chain.height - 1, keys)
+        verifier = ChainVerifier(naive.registry, naive.genesis)
+        report = verifier.verify_records(forged)
+        assert report.blocks_verified == naive.node(0).chain.height
+        # ... which is precisely why the forgetting protocol exists.

@@ -1,0 +1,188 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.message import HEADER_OVERHEAD_BYTES, Message
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+
+
+def build(seed=1, **config):
+    sim = Simulator(seed)
+    net = Network(sim, NetworkConfig(**config))
+    return sim, net
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self):
+        sim, net = build()
+        seen = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: seen.append((s, m.msg_id)))
+        msg = Message(size=100)
+        net.send("a", "b", msg)
+        sim.run()
+        assert seen == [("a", msg.msg_id)]
+
+    def test_latency_applied(self):
+        sim, net = build(latency=0.01, jitter=0.0)
+        times = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: times.append(sim.now))
+        net.send("a", "b", Message(size=0))
+        sim.run()
+        serialize = Message(size=0).wire_size() / 1e9
+        assert times[0] == pytest.approx(0.01 + serialize, abs=1e-6)
+
+    def test_bandwidth_serializes_on_sender_nic(self):
+        sim, net = build(latency=0.0, jitter=0.0, bandwidth_bps=1e6)
+        times = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: times.append(sim.now))
+        # Two 1 Mbit-ish messages: the second waits for the first on the NIC.
+        big = 125_000 - HEADER_OVERHEAD_BYTES  # exactly 1s at 1 Mbps
+        net.send("a", "b", Message(size=big))
+        net.send("a", "b", Message(size=big))
+        sim.run()
+        assert times[0] == pytest.approx(1.0, rel=0.01)
+        assert times[1] == pytest.approx(2.0, rel=0.01)
+
+    def test_broadcast_hits_all_destinations(self):
+        sim, net = build()
+        seen = []
+        net.register("a", lambda s, m: None)
+        for node in ("b", "c", "d"):
+            net.register(node, lambda s, m, node=node: seen.append(node))
+        net.broadcast("a", ["b", "c", "d"], Message(size=10))
+        sim.run()
+        assert sorted(seen) == ["b", "c", "d"]
+
+    def test_self_send_delivers(self):
+        sim, net = build()
+        seen = []
+        net.register("a", lambda s, m: seen.append(s))
+        net.send("a", "a", Message(size=10))
+        sim.run()
+        assert seen == ["a"]
+
+    def test_send_from_unregistered_is_dropped(self):
+        sim, net = build()
+        seen = []
+        net.register("b", lambda s, m: seen.append(s))
+        net.send("ghost", "b", Message(size=10))
+        sim.run()
+        assert seen == []
+
+    def test_send_to_unregistered_counts_dropped(self):
+        sim, net = build()
+        net.register("a", lambda s, m: None)
+        net.send("a", "ghost", Message(size=10))
+        sim.run()
+        assert net.messages_dropped == 1
+
+    def test_byte_accounting(self):
+        sim, net = build()
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: None)
+        net.send("a", "b", Message(size=100))
+        sim.run()
+        assert net.bytes_sent == 100 + HEADER_OVERHEAD_BYTES
+        assert net.messages_sent == 1
+        assert net.messages_delivered == 1
+
+
+class TestMembership:
+    def test_duplicate_registration_rejected(self):
+        _sim, net = build()
+        net.register("a", lambda s, m: None)
+        with pytest.raises(NetworkError):
+            net.register("a", lambda s, m: None)
+
+    def test_unregister_drops_in_flight(self):
+        sim, net = build(latency=0.01, jitter=0.0)
+        seen = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: seen.append(s))
+        net.send("a", "b", Message(size=10))
+        net.unregister("b")  # crash before delivery
+        sim.run()
+        assert seen == []
+
+    def test_reregister_after_crash(self):
+        sim, net = build()
+        seen = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: seen.append("old"))
+        net.unregister("b")
+        net.register("b", lambda s, m: seen.append("new"))
+        net.send("a", "b", Message(size=10))
+        sim.run()
+        assert seen == ["new"]
+
+
+class TestFaults:
+    def test_partition_blocks_cross_traffic(self):
+        sim, net = build()
+        seen = []
+        for node in "abcd":
+            net.register(node, lambda s, m, node=node: seen.append(node))
+        net.partition(["a", "b"], ["c", "d"])
+        net.send("a", "c", Message(size=10))
+        net.send("a", "b", Message(size=10))
+        sim.run()
+        assert seen == ["b"]
+
+    def test_heal_restores_traffic(self):
+        sim, net = build()
+        seen = []
+        net.register("a", lambda s, m: None)
+        net.register("c", lambda s, m: seen.append("c"))
+        net.partition(["a"], ["c"])
+        net.heal()
+        net.send("a", "c", Message(size=10))
+        sim.run()
+        assert seen == ["c"]
+
+    def test_drop_probability_one_drops_everything(self):
+        sim, net = build()
+        seen = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: seen.append("b"))
+        net.set_drop_probability("a", "b", 1.0)
+        for _ in range(10):
+            net.send("a", "b", Message(size=10))
+        sim.run()
+        assert seen == []
+        assert net.messages_dropped == 10
+
+    def test_extra_delay_on_link(self):
+        sim, net = build(latency=0.001, jitter=0.0)
+        times = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: times.append(sim.now))
+        net.set_extra_delay("a", "b", 0.5)
+        net.send("a", "b", Message(size=0))
+        sim.run()
+        assert times[0] > 0.5
+
+    def test_pre_gst_asynchrony_adds_delay(self):
+        sim, net = build(latency=0.001, jitter=0.0, gst=10.0,
+                         asynchrony_max=1.0)
+        times = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: times.append(sim.now))
+        for _ in range(20):
+            net.send("a", "b", Message(size=0))
+        sim.run()
+        # With max extra delay 1.0, some messages should be visibly late.
+        assert max(times) > 0.05
+
+    def test_post_gst_is_timely(self):
+        sim, net = build(latency=0.001, jitter=0.0, gst=0.0)
+        times = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: times.append(sim.now))
+        net.send("a", "b", Message(size=0))
+        sim.run()
+        assert times[0] < 0.01

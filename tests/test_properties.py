@@ -1,0 +1,109 @@
+"""Property-based tests over protocol invariants (hypothesis).
+
+The heavyweight ones drive a full cluster under randomized crash/recovery
+schedules and assert the SMR safety invariants always hold.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SMRConfig
+from repro.sim.trace import trimmed_mean
+
+from tests.helpers import kv_ops, make_cluster, station_with_clients
+
+
+class TestOrderingInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_total_order_holds_for_any_seed(self, seed):
+        sim, network, view, replicas, apps = make_cluster(seed=seed)
+        station = station_with_clients(sim, network, lambda: view, 3,
+                                       lambda i: kv_ops(f"c{i}", 8))
+        station.start_all()
+        sim.run(until=20.0)
+        assert station.meter.total == 24
+        logs = [[d.batch_hash for d in r.delivery.log] for r in replicas]
+        assert logs[0] == logs[1] == logs[2] == logs[3]
+        assert len({a.state_digest() for a in apps}) == 1
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        crash_victim=st.integers(min_value=0, max_value=3),
+        crash_at=st.floats(min_value=0.01, max_value=0.4),
+    )
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_safety_under_random_single_crash(self, seed, crash_victim,
+                                              crash_at):
+        """Whatever single replica crashes, whenever: no divergence, no
+        duplicate execution, full completion."""
+        config = SMRConfig(n=4, f=1, request_timeout=0.5)
+        sim, network, view, replicas, apps = make_cluster(seed=seed,
+                                                          config=config)
+        station = station_with_clients(sim, network, lambda: view, 4,
+                                       lambda i: kv_ops(f"c{i}", 10))
+        station.start_all()
+        sim.schedule(crash_at, replicas[crash_victim].crash)
+        sim.run(until=40.0)
+        assert station.meter.total == 40
+        alive = [r for r in replicas if not r.crashed]
+        logs = [[d.batch_hash for d in r.delivery.log] for r in alive]
+        for log in logs[1:]:
+            assert log == logs[0]
+        for replica in alive:
+            keys = [req.key for d in replica.delivery.log for req in d.batch]
+            assert len(keys) == len(set(keys))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        victim=st.integers(min_value=0, max_value=3),
+        downtime=st.floats(min_value=0.2, max_value=1.5),
+    )
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_crash_recover_convergence(self, seed, victim, downtime):
+        """A crashed-and-recovered replica always converges back to the
+        group state."""
+        config = SMRConfig(n=4, f=1, request_timeout=0.5)
+        sim, network, view, replicas, apps = make_cluster(seed=seed,
+                                                          config=config)
+        station = station_with_clients(sim, network, lambda: view, 4,
+                                       lambda i: kv_ops(f"c{i}", 12))
+        station.start_all()
+        sim.schedule(0.05, replicas[victim].crash)
+        sim.schedule(0.05 + downtime, lambda: replicas[victim].recover())
+        sim.run(until=60.0)
+        assert station.meter.total == 48
+        # Give the recovered replica a quiet moment to finish catching up.
+        sim.run(until=sim.now + 10.0)
+        assert not replicas[victim].crashed
+        assert apps[victim].state_digest() == apps[(victim + 1) % 4].state_digest()
+
+
+class TestChainInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           txs=st.integers(min_value=5, max_value=30))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_chain_always_verifies(self, seed, txs):
+        from repro.ledger import ChainVerifier
+        from tests.helpers import make_consortium, run_coin_traffic
+        consortium = make_consortium(seed=seed, checkpoint_period=7)
+        run_coin_traffic(consortium, txs=txs)
+        verifier = ChainVerifier(consortium.registry, consortium.genesis,
+                                 uncertified_tail=1)
+        report = verifier.verify_records(consortium.node(0).chain_records())
+        assert report.total_transactions >= txs
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e6,
+                                     allow_nan=False), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_trimmed_mean_bounded_by_extremes(self, values):
+        result = trimmed_mean(values)
+        if values:
+            assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+        else:
+            assert result == 0.0

@@ -1,0 +1,217 @@
+"""Unit tests for the stable-storage substrate (sync/volatile semantics)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.storage.disk import Disk, DiskConfig
+from repro.storage.stable import AsyncFlusher, StableStore
+
+
+class TestDisk:
+    def test_sync_write_pays_latency(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(sync_latency=0.01, bandwidth_bytes=1e6))
+        done = []
+        disk.write(10_000, sync=True, fn=lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(0.01 + 0.01)  # latency + 10k/1e6
+
+    def test_async_write_is_bandwidth_only(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(sync_latency=0.01, bandwidth_bytes=1e6))
+        done = []
+        disk.write(10_000, sync=False, fn=lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(0.01)
+
+    def test_writes_queue_fifo(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(sync_latency=0.0, bandwidth_bytes=1e6))
+        order = []
+        disk.write(1_000_000, False, order.append, 1)
+        disk.write(0, False, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_group_commit_economics(self):
+        """One sync of 10 batches costs far less than 10 syncs of 1 batch —
+        the Dura-SMaRt observation."""
+        def total_time(writes, batch_bytes):
+            sim = Simulator()
+            disk = Disk(sim, DiskConfig(sync_latency=0.005, bandwidth_bytes=100e6))
+            for _ in range(writes):
+                disk.write(batch_bytes, sync=True)
+            sim.run()
+            return sim.now
+
+        one_big = total_time(1, 10 * 100_000)
+        ten_small = total_time(10, 100_000)
+        assert ten_small > 3 * one_big
+
+    def test_snapshot_write_uses_snapshot_bandwidth(self):
+        sim = Simulator()
+        disk = Disk(sim, DiskConfig(sync_latency=0.0, bandwidth_bytes=100e6,
+                                    snapshot_bandwidth_bytes=10e6))
+        done = []
+        disk.write_snapshot(10_000_000, lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(1.0)
+
+    def test_bytes_and_sync_counters(self):
+        sim = Simulator()
+        disk = Disk(sim)
+        disk.write(100, sync=True)
+        disk.write(200, sync=False)
+        sim.run()
+        assert disk.bytes_written == 300
+        assert disk.sync_count == 1
+
+
+class TestStableStore:
+    def test_append_is_volatile_until_sync(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.append("log", "entry", 100)
+        assert store.read_log("log") == []
+        assert store.volatile_length("log") == 1
+        store.sync()
+        sim.run()
+        assert store.read_log("log") == ["entry"]
+        assert store.volatile_length("log") == 0
+
+    def test_crash_loses_unsynced_data(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.append("log", "stable", 100)
+        store.sync()
+        sim.run()
+        store.append("log", "volatile", 100)
+        store.crash()
+        assert store.read_log("log") == ["stable"]
+
+    def test_crash_during_sync_loses_in_flight_data(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.append("log", "x", 100)
+        store.sync()
+        # Crash before the disk completes the barrier.
+        store.crash()
+        # The in-flight sync still completes at the disk level; the data it
+        # covered was already handed to the device, so it becomes stable —
+        # matching a write that reached the controller before power loss.
+        sim.run()
+        assert store.read_log("log") in ([], ["x"])
+
+    def test_sync_covers_only_prior_appends(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.append("log", "first", 100)
+        store.sync()
+        store.append("log", "second", 100)
+        sim.run(max_events=2)
+        # After the first sync completes, only "first" is stable.
+        assert "second" not in store.read_log("log")
+
+    def test_sync_callback_ordering(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        calls = []
+        store.append("log", 1, 10)
+        store.sync(calls.append, "first")
+        store.append("log", 2, 10)
+        store.sync(calls.append, "second")
+        sim.run()
+        assert calls == ["first", "second"]
+        assert store.read_log("log") == [1, 2]
+
+    def test_cells_follow_same_semantics(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.put("cell", "value", 50)
+        assert store.read_cell("cell") is None
+        store.sync()
+        sim.run()
+        assert store.read_cell("cell") == "value"
+        assert store.read_cell("missing", "default") == "default"
+
+    def test_snapshot_write(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        done = []
+        store.write_snapshot("snap", {"state": 1}, 1_000_000,
+                             lambda: done.append(sim.now))
+        sim.run()
+        assert store.read_cell("snap") == {"state": 1}
+        assert done
+
+    def test_corrupt_suffix_models_byzantine_owner(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        for index in range(5):
+            store.append("log", index, 10)
+        store.sync()
+        sim.run()
+        removed = store.corrupt_suffix("log", keep=2)
+        assert [entry.payload for entry in removed] == [2, 3, 4]
+        assert store.read_log("log") == [0, 1]
+
+    def test_stable_bytes_accounting(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.append("log", "x", 100)
+        store.put("cell", "y", 50)
+        store.sync()
+        sim.run()
+        assert store.stable_bytes() == 150
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        with pytest.raises(Exception):
+            store.append("log", "x", -1)
+
+
+class TestAsyncFlusher:
+    def test_flusher_periodically_syncs(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        flusher = AsyncFlusher(store, interval=0.1)
+        flusher.start()
+        store.append("log", "a", 100)
+        sim.run(until=0.5)
+        assert store.read_log("log") == ["a"]
+        flusher.stop()
+
+    def test_lambda_persistence_window(self):
+        """Data appended just before a crash (within one flush interval) is
+        lost — λ-Persistence."""
+        sim = Simulator()
+        store = StableStore(sim)
+        flusher = AsyncFlusher(store, interval=0.1)
+        flusher.start()
+        store.append("log", "early", 100)
+        sim.run(until=0.25)
+        store.append("log", "late", 100)
+        flusher.stop()
+        store.crash()
+        assert store.read_log("log") == ["early"]
+
+    def test_stop_prevents_further_flushes(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        flusher = AsyncFlusher(store, interval=0.1)
+        flusher.start()
+        flusher.stop()
+        store.append("log", "x", 100)
+        sim.run(until=1.0)
+        assert store.read_log("log") == []
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        flusher = AsyncFlusher(store, interval=0.1)
+        flusher.start()
+        flusher.start()
+        store.append("log", "x", 10)
+        sim.run(until=0.3)
+        assert store.read_log("log") == ["x"]
