@@ -31,7 +31,7 @@ from repro.config import (
 )
 from repro.core.node import bootstrap
 from repro.sim.engine import Simulator
-from repro.sim.trace import TraceLog
+from repro.sim.trace import TraceLog, bucket_timeline, merge_stamps
 from repro.workloads.coingen import all_minter_addresses, deploy_clients
 
 from conftest import FULL, SEED
@@ -91,14 +91,9 @@ def run_timeline():
     sim.run(until=HORIZON)
 
     width = 10 * SCALE
-    merged = sorted((when, count) for st in stations
-                    for when, count in st.meter._stamps)
-    buckets = [0.0] * int(HORIZON / width)
-    for when, count in merged:
-        index = min(len(buckets) - 1, int(when / width))
-        buckets[index] += count / width
-    timeline = [(round((i + 0.5) * width, 1), rate)
-                for i, rate in enumerate(buckets)]
+    merged = merge_stamps([st.meter for st in stations])
+    timeline = [(round(midpoint, 1), rate)
+                for midpoint, rate in bucket_timeline(merged, HORIZON, width)]
     return consortium, candidate, trace, events, timeline
 
 

@@ -66,6 +66,11 @@ class NaiveBlockchainDelivery(SequentialDelivery):
         self.chain.append(block)
         self.blocks_built += 1
         self.executed_cid = decision.cid
+        obs = replica.sim.obs
+        if obs.enabled:
+            obs.metrics.counter("chain.blocks_built", node=replica.id).inc()
+        if obs.trace_pipeline:
+            obs.trace_cid(replica.id, decision.cid, "execute", replica.sim.now)
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(self.LOG, block, block["nbytes"])
         if self.storage is StorageMode.SYNC:
@@ -78,6 +83,10 @@ class NaiveBlockchainDelivery(SequentialDelivery):
 
     def _reply(self, decision: Decision, results: dict, done) -> None:
         replica = self.replica
+        obs = replica.sim.obs
+        if obs.trace_pipeline and self.storage is StorageMode.SYNC:
+            obs.trace_cid(replica.id, decision.cid, "body_write",
+                          replica.sim.now)
         replica.send_replies(results, decision.batch,
                              block_number=len(self.chain))
         replica.note_executed(decision)

@@ -1,7 +1,11 @@
 """Benchmark harness: experiment runners and result formatting."""
 
 from repro.bench.harness import (
+    DEFAULT_WARMUP,
     ExperimentResult,
+    RunHandle,
+    Scenario,
+    run,
     run_dura_smart,
     run_fabric,
     run_naive_smartcoin,
@@ -10,7 +14,11 @@ from repro.bench.harness import (
 )
 
 __all__ = [
+    "DEFAULT_WARMUP",
     "ExperimentResult",
+    "RunHandle",
+    "Scenario",
+    "run",
     "run_dura_smart",
     "run_fabric",
     "run_naive_smartcoin",

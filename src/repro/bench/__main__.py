@@ -6,6 +6,15 @@ Examples::
     python -m repro.bench table2                # Table II rows
     python -m repro.bench calibration           # anchor fit report
     python -m repro.bench smartchain --variant weak --clients 600
+    python -m repro.bench table1 --report table1.json   # observed run + JSON
+    python -m repro.bench --smoke --report /tmp/r.json  # CI schema check
+
+``--report PATH`` runs every row with observability enabled and writes a
+machine-readable bench report (schema ``repro.obs/bench-report/v1``): the
+throughput/latency summary, the per-phase pipeline latency breakdown and the
+per-resource busy fractions of each row.  ``--smoke`` runs one short
+observed SMARTCHAIN row and validates the report schema (at least six
+pipeline phases must appear) — the CI smoke target.
 
 For the figure sweeps (6, 7, 8) use the pytest benchmarks, which also assert
 the shapes: ``pytest benchmarks/ --benchmark-only``.
@@ -14,6 +23,7 @@ the shapes: ``pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.calibration import calibration_report
@@ -25,18 +35,34 @@ from repro.bench.harness import (
     run_tendermint,
 )
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
+from repro.obs.report import build_bench_report, validate_bench_report
 
 
 def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clients", type=int, default=1200)
     parser.add_argument("--duration", type=float, default=2.5)
     parser.add_argument("--seed", type=int, default=1)
+    # Accepted both before and after the experiment name; SUPPRESS keeps
+    # the subparser from clobbering a value given at the top level.
+    parser.add_argument("--report", metavar="PATH",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--smoke", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help=argparse.SUPPRESS)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench",
                                      description=__doc__)
-    sub = parser.add_subparsers(dest="experiment", required=True)
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="enable observability and write a JSON bench "
+                             "report to PATH ('-' for stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run one short observed row and validate the "
+                             "report schema (CI smoke target)")
+    parser.set_defaults(clients=1200, duration=2.5, seed=1)
+    sub = parser.add_subparsers(dest="experiment")
 
     for name in ("table1", "table2", "calibration"):
         p = sub.add_parser(name)
@@ -50,17 +76,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--n", type=int, default=4)
 
     args = parser.parse_args(argv)
-    kwargs = dict(clients=args.clients, duration=args.duration,
-                  seed=args.seed)
+    if args.experiment is None and not args.smoke:
+        parser.error("an experiment is required (or use --smoke)")
+    if args.smoke and args.experiment is not None:
+        parser.error("--smoke runs its own fixed row; drop the "
+                     "experiment name")
+    if args.report not in (None, "-"):
+        try:  # fail before the run, not after minutes of simulation
+            with open(args.report, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write report to {args.report}: {exc}")
 
-    if args.experiment == "calibration":
+    observe = args.report is not None or args.smoke
+    kwargs = dict(clients=args.clients, duration=args.duration,
+                  seed=args.seed, observe=observe)
+
+    options = {"clients": args.clients, "duration": args.duration,
+               "seed": args.seed}
+    if args.smoke:
+        experiment = "smoke"
+        options = {"clients": 300, "duration": 2.0, "seed": args.seed}
+        rows = [run_smartchain(PersistenceVariant.STRONG, StorageMode.SYNC,
+                               observe=True, **options)]
+    elif args.experiment == "calibration":
         print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
-        for label, paper, measured, ratio in calibration_report(**kwargs):
+        for label, paper, measured, ratio in calibration_report(
+                clients=args.clients, duration=args.duration,
+                seed=args.seed):
             print(f"{label:<36} {paper:>8.0f} {measured:>9.0f} "
                   f"{ratio:>5.2f}x")
+        if args.report is not None:
+            print("(calibration has no report output; "
+                  "use table1/table2/smartchain)", file=sys.stderr)
         return 0
-
-    if args.experiment == "table1":
+    elif args.experiment == "table1":
+        experiment = "table1"
         rows = [
             run_naive_smartcoin(VerificationMode.SEQUENTIAL,
                                 StorageMode.SYNC, **kwargs),
@@ -73,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
             run_dura_smart(**kwargs),
         ]
     elif args.experiment == "table2":
+        experiment = "table2"
         rows = [
             run_smartchain(PersistenceVariant.STRONG, **kwargs),
             run_smartchain(PersistenceVariant.WEAK, **kwargs),
@@ -81,12 +133,32 @@ def main(argv: list[str] | None = None) -> int:
             run_fabric(**{**kwargs, "duration": max(8.0, args.duration)}),
         ]
     else:  # smartchain
+        experiment = "smartchain"
         rows = [run_smartchain(
             PersistenceVariant(args.variant), StorageMode(args.storage),
             n=args.n, **kwargs)]
 
+    # With the report going to stdout, keep stdout pure JSON and move the
+    # human-readable rows to stderr.
+    rows_stream = sys.stderr if args.report in ("-", None) and observe \
+        else sys.stdout
     for result in rows:
-        print(result.row())
+        print(result.row(), file=rows_stream)
+
+    if observe:
+        report = build_bench_report(
+            experiment,
+            [result.report for result in rows],
+            options=options,
+        )
+        validate_bench_report(report, min_phases=6 if args.smoke else 0)
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.report in (None, "-"):
+            print(payload)
+        else:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.report}", file=sys.stderr)
     return 0
 
 

@@ -1,18 +1,29 @@
-"""Experiment harness: one function per system configuration.
+"""Experiment harness: one :class:`Scenario` in, one :class:`ExperimentResult` out.
 
-Each ``run_*`` function builds a fresh simulation, deploys the paper's
-client population, runs for a simulated duration and returns an
-:class:`ExperimentResult` with throughput measured the way the paper
-measures it (fixed intervals, 20% highest-variance intervals discarded,
-average — Section VI-A).
+A :class:`Scenario` declares *what* to run — system, cluster size, client
+population, duration, seed, warmup, workload, observability options — and
+:func:`run` executes it: build a fresh simulation, deploy the paper's client
+population, run for the simulated duration and measure throughput the way
+the paper measures it (fixed operation-count intervals, 20% highest-variance
+intervals discarded, average — Section VI-A).
+
+The historical ``run_smartchain`` / ``run_naive_smartcoin`` / ``run_dura_smart``
+/ ``run_tendermint`` / ``run_fabric`` entry points remain as thin wrappers
+that construct the equivalent Scenario, so existing benchmarks and notebooks
+keep working unchanged.
+
+Results are plain data: every field of :class:`ExperimentResult` survives
+``json.dumps`` (see :meth:`ExperimentResult.to_json`).  Live simulation
+objects — the consortium, the stations, the simulator — are available on the
+separate :attr:`ExperimentResult.handle`, which is deliberately *not* part
+of the serialized result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
-from repro.apps.kvstore import KVStore
 from repro.apps.naive import NaiveBlockchainDelivery
 from repro.apps.smartcoin import SmartCoin
 from repro.baselines.fabric import FabricCluster, FabricConfig
@@ -29,8 +40,9 @@ from repro.config import (
 from repro.core.node import bootstrap
 from repro.crypto.keys import KeyRegistry
 from repro.net.network import Network
+from repro.obs import Observability, build_run_report
 from repro.sim.engine import Simulator
-from repro.sim.trace import trimmed_mean
+from repro.sim.trace import merge_stamps, op_window_rates, trimmed_mean
 from repro.smr.durability import DuraSmartDelivery
 from repro.smr.keydir import KeyDirectory
 from repro.smr.replica import ModSmartReplica
@@ -38,7 +50,11 @@ from repro.smr.views import View
 from repro.workloads.coingen import all_minter_addresses, deploy_clients
 
 __all__ = [
+    "DEFAULT_WARMUP",
+    "Scenario",
+    "RunHandle",
     "ExperimentResult",
+    "run",
     "run_smartchain",
     "run_naive_smartcoin",
     "run_dura_smart",
@@ -46,13 +62,91 @@ __all__ = [
     "run_fabric",
 ]
 
-#: Default steady-state measurement window (simulated seconds).
-WARMUP = 1.0
+#: Simulated seconds excluded from the head of every measurement: the ramp
+#: (staggered client starts, pipeline fill) settles within the first second
+#: on every system modelled here, so a single default applies uniformly.
+#: Historically the comparator runs (Tendermint, Fabric) used a different,
+#: duration-dependent warmup than the SMARTCHAIN/BFT-SMART runs, which
+#: skewed the Table II comparison; a Scenario now carries one explicit value.
+DEFAULT_WARMUP = 1.0
+
+#: Back-compat alias (pre-Scenario name).
+WARMUP = DEFAULT_WARMUP
+
+
+# ----------------------------------------------------------------------
+# Scenario: the single description of an experiment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """Declarative description of one experiment run.
+
+    ``system`` selects the stack: ``smartchain`` (Algorithm 1 on Mod-SMaRt),
+    ``naive`` (app-level blockchain on BFT-SMART), ``dura`` (Dura-SMaRt
+    durability layer), ``tendermint`` or ``fabric`` (Table II comparators).
+    The consensus-related fields (``variant``, ``storage``, ``verification``,
+    ``checkpoint_period``) apply to the systems that have them; ``config``
+    carries a :class:`TendermintConfig`/:class:`FabricConfig` override for
+    the comparators.
+    """
+
+    system: str = "smartchain"
+    n: int = 4
+    clients: int = 2400
+    duration: float = 4.0
+    seed: int = 1
+    warmup: float = DEFAULT_WARMUP
+    workload: str = "spend"
+    variant: PersistenceVariant = PersistenceVariant.STRONG
+    storage: StorageMode = StorageMode.SYNC
+    verification: VerificationMode = VerificationMode.PARALLEL
+    checkpoint_period: int = 10_000
+    costs: CostModel | None = None
+    config: Any = None
+    label: str | None = None
+    op_window: int = 2000
+    #: Record metrics, pipeline spans and resource utilization; the result
+    #: then carries a machine-readable report (ExperimentResult.report).
+    observe: bool = False
+    #: Trace one request in this many (deterministic in the request key).
+    trace_sample_every: int = 1
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe summary of the scenario (for bench reports)."""
+        return {
+            "system": self.system,
+            "n": self.n,
+            "clients": self.clients,
+            "duration": self.duration,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "workload": self.workload,
+            "variant": self.variant.value,
+            "storage": self.storage.value,
+            "verification": self.verification.value,
+        }
+
+
+@dataclass
+class RunHandle:
+    """Live objects of a finished run (not serialized with the result).
+
+    ``system`` is the stack's top-level object: the :class:`Consortium` for
+    ``smartchain``, the replica list for ``naive``/``dura``, the cluster for
+    the comparators.
+    """
+
+    scenario: Scenario
+    sim: Simulator
+    obs: Observability
+    stations: list[ClientStation]
+    system: Any
 
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one experiment run."""
+    """Outcome of one experiment run.  Every field except ``handle`` is
+    plain data and survives ``json.dumps`` (see :meth:`to_json`)."""
 
     label: str
     throughput: float              # tx/s, trimmed-mean of intervals
@@ -60,8 +154,29 @@ class ExperimentResult:
     latency_p95: float
     completed: int
     duration: float
+    warmup: float = DEFAULT_WARMUP
     interval_rates: list[float] = field(default_factory=list)
-    extra: dict[str, Any] = field(default_factory=dict)
+    #: Scalar outcome metrics (blocks built, certificates, group commit ...).
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Machine-readable run report (observed runs only; see repro.obs.report).
+    report: dict[str, Any] | None = None
+    #: Live objects of the run; excluded from serialization.
+    handle: RunHandle | None = field(default=None, repr=False, compare=False)
+
+    def to_json(self) -> dict[str, Any]:
+        """The result as a JSON-serializable dict (no live objects)."""
+        return {
+            "label": self.label,
+            "throughput": self.throughput,
+            "latency_mean": self.latency_mean,
+            "latency_p95": self.latency_p95,
+            "completed": self.completed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "interval_rates": list(self.interval_rates),
+            "metrics": dict(self.metrics),
+            "report": self.report,
+        }
 
     def row(self) -> str:
         return (f"{self.label:<42} {self.throughput:>9.0f} tx/s   "
@@ -70,32 +185,19 @@ class ExperimentResult:
 
 def _measure(stations: list[ClientStation], duration: float,
              label: str, op_window: int = 2000,
-             warmup: float = WARMUP, extra: dict | None = None) -> ExperimentResult:
+             warmup: float = DEFAULT_WARMUP,
+             extra: dict | None = None,
+             metrics: dict | None = None) -> ExperimentResult:
     # The paper's method: throughput per fixed operation-count interval,
     # discard the 20% with the greatest deviation, average the rest.
-    merged = sorted((when, count)
-                    for st in stations for when, count in st.meter._stamps)
-    in_window = [(when, count) for when, count in merged
-                 if warmup <= when < duration]
+    in_window = merge_stamps([st.meter for st in stations],
+                             start=warmup, end=duration)
     total_in_window = sum(count for _, count in in_window)
     # Short runs shrink the window so at least a few intervals form — but a
     # window must still span several reply bursts (blocks complete up to
     # 512 transactions at one instant), or burst-local rates explode.
     op_window = max(1100, min(op_window, total_in_window // 3 or 1100))
-    rates: list[float] = []
-    window_start = None
-    accumulated = 0
-    for when, count in in_window:
-        if window_start is None:
-            window_start = when
-            continue
-        accumulated += count
-        if accumulated >= op_window:
-            elapsed = when - window_start
-            if elapsed > 0:
-                rates.append(accumulated / elapsed)
-            window_start = when
-            accumulated = 0
+    rates = op_window_rates(in_window, op_window)
     if rates:
         throughput = trimmed_mean(rates)
     elif duration > warmup:
@@ -113,8 +215,9 @@ def _measure(stations: list[ClientStation], duration: float,
         latency_p95=p95,
         completed=completed,
         duration=duration,
+        warmup=warmup,
         interval_rates=rates,
-        extra=extra or {},
+        metrics={**(extra or {}), **(metrics or {})},
     )
 
 
@@ -123,33 +226,27 @@ def _signed(verification: VerificationMode) -> bool:
 
 
 # ----------------------------------------------------------------------
-# SMARTCHAIN (Table II, Figure 6, Figure 7)
+# System builders: Scenario -> (stations, label, system, metrics thunk)
 # ----------------------------------------------------------------------
-def run_smartchain(
-    variant: PersistenceVariant = PersistenceVariant.STRONG,
-    storage: StorageMode = StorageMode.SYNC,
-    verification: VerificationMode = VerificationMode.PARALLEL,
-    n: int = 4,
-    clients: int = 2400,
-    duration: float = 4.0,
-    seed: int = 1,
-    checkpoint_period: int = 10_000,
-    costs: CostModel | None = None,
-    workload: str = "spend",
-    label: str | None = None,
-) -> ExperimentResult:
-    """One SMARTCHAIN configuration under the SMaRtCoin workload."""
-    sim = Simulator(seed)
-    costs = costs or CostModel()
-    f = (n - 1) // 3
+@dataclass
+class _Built:
+    stations: list[ClientStation]
+    label: str
+    system: Any
+    metrics: Callable[[], dict[str, Any]]
+
+
+def _build_smartchain(sim: Simulator, sc: Scenario,
+                      costs: CostModel) -> _Built:
+    f = (sc.n - 1) // 3
     config = SmartChainConfig(
-        smr=SMRConfig(n=n, f=f, verification=verification),
-        variant=variant,
-        storage=storage,
-        checkpoint_period=checkpoint_period,
+        smr=SMRConfig(n=sc.n, f=f, verification=sc.verification),
+        variant=sc.variant,
+        storage=sc.storage,
+        checkpoint_period=sc.checkpoint_period,
     )
-    minters = all_minter_addresses(clients)
-    consortium = bootstrap(sim, tuple(range(n)),
+    minters = all_minter_addresses(sc.clients)
+    consortium = bootstrap(sim, tuple(range(sc.n)),
                            lambda: SmartCoin(minters=minters),
                            config, costs=costs)
     view_holder = [consortium.genesis.view]
@@ -157,24 +254,17 @@ def run_smartchain(
         node.view_listeners.append(
             lambda view: view_holder.__setitem__(0, view))
     stations, _wallets = deploy_clients(
-        sim, consortium.network, lambda: view_holder[0], clients,
-        workload=workload, signed=_signed(verification))
-    for station in stations:
-        station.start_all(stagger=0.002)
-    sim.run(until=duration)
-    name = label or (f"SmartChain {variant.value} "
-                     f"({storage.value}, {verification.value}, n={n})")
+        sim, consortium.network, lambda: view_holder[0], sc.clients,
+        workload=sc.workload, signed=_signed(sc.verification))
+    label = (f"SmartChain {sc.variant.value} "
+             f"({sc.storage.value}, {sc.verification.value}, n={sc.n})")
     node0 = consortium.node(0)
-    return _measure(stations, duration, name, extra={
+    return _Built(stations, label, consortium, lambda: {
         "blocks": node0.delivery.blocks_built,
         "certificates": node0.delivery.certs_completed,
-        "consortium": consortium,
     })
 
 
-# ----------------------------------------------------------------------
-# SMaRtCoin on plain BFT-SMART (Table I left/middle columns)
-# ----------------------------------------------------------------------
 def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory):
     registry = KeyRegistry(seed=sim.seed)
     network = Network(sim, costs.network)
@@ -190,6 +280,142 @@ def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory):
     return network, view, replicas
 
 
+def _build_naive(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
+    minters = all_minter_addresses(sc.clients)
+    network, view, replicas = _build_modsmart_cluster(
+        sim, costs, sc.n, sc.verification,
+        lambda: NaiveBlockchainDelivery(SmartCoin(minters=minters),
+                                        sc.storage))
+    stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
+                                 workload=sc.workload,
+                                 signed=_signed(sc.verification))
+    label = (f"SMaRtCoin naive ({sc.verification.value} verify, "
+             f"{sc.storage.value} writes, n={sc.n})")
+    return _Built(stations, label, replicas, lambda: {
+        "blocks": replicas[0].delivery.blocks_built,
+    })
+
+
+def _build_dura(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
+    minters = all_minter_addresses(sc.clients)
+    network, view, replicas = _build_modsmart_cluster(
+        sim, costs, sc.n, sc.verification,
+        lambda: DuraSmartDelivery(SmartCoin(minters=minters), sc.storage))
+    stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
+                                 workload=sc.workload,
+                                 signed=_signed(sc.verification))
+    label = (f"Durable-SMaRt ({sc.verification.value} verify, "
+             f"{sc.storage.value} writes, n={sc.n})")
+
+    def metrics() -> dict[str, Any]:
+        groups = replicas[0].delivery.group_sizes
+        return {
+            "group_commits": len(groups),
+            "mean_group_commit": sum(groups) / len(groups) if groups else 0,
+        }
+
+    return _Built(stations, label, replicas, metrics)
+
+
+def _build_tendermint(sim: Simulator, sc: Scenario,
+                      costs: CostModel) -> _Built:
+    network = Network(sim, costs.network)
+    config = sc.config or TendermintConfig()
+    minters = all_minter_addresses(sc.clients)
+    cluster = TendermintCluster(sim, network, config, costs,
+                                lambda: SmartCoin(minters=minters))
+    view = cluster.view()
+    stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
+                                 workload=sc.workload, signed=True)
+    return _Built(stations, "Tendermint", cluster, lambda: {
+        "blocks": cluster.nodes[0].blocks_committed,
+    })
+
+
+def _build_fabric(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
+    network = Network(sim, costs.network)
+    config = sc.config or FabricConfig()
+    minters = all_minter_addresses(sc.clients)
+    cluster = FabricCluster(sim, network, config, costs,
+                            lambda: SmartCoin(minters=minters))
+    view = cluster.view()
+    stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
+                                 workload=sc.workload, signed=True)
+    return _Built(stations, "Hyperledger Fabric", cluster, lambda: {
+        "blocks": cluster.peers[0].blocks_committed,
+    })
+
+
+_BUILDERS: dict[str, Callable[[Simulator, Scenario, CostModel], _Built]] = {
+    "smartchain": _build_smartchain,
+    "naive": _build_naive,
+    "dura": _build_dura,
+    "tendermint": _build_tendermint,
+    "fabric": _build_fabric,
+}
+
+
+# ----------------------------------------------------------------------
+# The single entry point
+# ----------------------------------------------------------------------
+def run(scenario: Scenario) -> ExperimentResult:
+    """Execute one scenario and measure it the paper's way.
+
+    When ``scenario.observe`` is set, the run records metrics, pipeline
+    spans and resource utilization, and the result carries a machine-
+    readable report (:attr:`ExperimentResult.report`).
+    """
+    builder = _BUILDERS.get(scenario.system)
+    if builder is None:
+        raise ValueError(
+            f"unknown system {scenario.system!r}; "
+            f"expected one of {sorted(_BUILDERS)}")
+    obs = Observability(enabled=scenario.observe,
+                        sample_every=scenario.trace_sample_every)
+    sim = Simulator(scenario.seed, obs=obs)
+    costs = scenario.costs or CostModel()
+    built = builder(sim, scenario, costs)
+    for station in built.stations:
+        station.start_all(stagger=0.002)
+    sim.run(until=scenario.duration)
+    result = _measure(built.stations, scenario.duration,
+                      scenario.label or built.label,
+                      op_window=scenario.op_window,
+                      warmup=scenario.warmup,
+                      metrics=built.metrics())
+    result.handle = RunHandle(scenario=scenario, sim=sim, obs=obs,
+                              stations=built.stations, system=built.system)
+    if scenario.observe:
+        result.report = build_run_report(result, obs, scenario.duration)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Back-compat wrappers (thin Scenario constructors)
+# ----------------------------------------------------------------------
+def run_smartchain(
+    variant: PersistenceVariant = PersistenceVariant.STRONG,
+    storage: StorageMode = StorageMode.SYNC,
+    verification: VerificationMode = VerificationMode.PARALLEL,
+    n: int = 4,
+    clients: int = 2400,
+    duration: float = 4.0,
+    seed: int = 1,
+    checkpoint_period: int = 10_000,
+    costs: CostModel | None = None,
+    workload: str = "spend",
+    label: str | None = None,
+    warmup: float = DEFAULT_WARMUP,
+    observe: bool = False,
+) -> ExperimentResult:
+    """One SMARTCHAIN configuration under the SMaRtCoin workload."""
+    return run(Scenario(
+        system="smartchain", variant=variant, storage=storage,
+        verification=verification, n=n, clients=clients, duration=duration,
+        seed=seed, checkpoint_period=checkpoint_period, costs=costs,
+        workload=workload, label=label, warmup=warmup, observe=observe))
+
+
 def run_naive_smartcoin(
     verification: VerificationMode = VerificationMode.SEQUENTIAL,
     storage: StorageMode = StorageMode.SYNC,
@@ -200,25 +426,14 @@ def run_naive_smartcoin(
     costs: CostModel | None = None,
     workload: str = "spend",
     label: str | None = None,
+    warmup: float = DEFAULT_WARMUP,
+    observe: bool = False,
 ) -> ExperimentResult:
     """The naive design of Section IV: app-level blockchain inside the SMR."""
-    sim = Simulator(seed)
-    costs = costs or CostModel()
-    minters = all_minter_addresses(clients)
-    network, view, replicas = _build_modsmart_cluster(
-        sim, costs, n, verification,
-        lambda: NaiveBlockchainDelivery(SmartCoin(minters=minters), storage))
-    stations, _ = deploy_clients(sim, network, lambda: view, clients,
-                                 workload=workload,
-                                 signed=_signed(verification))
-    for station in stations:
-        station.start_all(stagger=0.002)
-    sim.run(until=duration)
-    name = label or (f"SMaRtCoin naive ({verification.value} verify, "
-                     f"{storage.value} writes, n={n})")
-    return _measure(stations, duration, name, extra={
-        "blocks": replicas[0].delivery.blocks_built,
-    })
+    return run(Scenario(
+        system="naive", verification=verification, storage=storage, n=n,
+        clients=clients, duration=duration, seed=seed, costs=costs,
+        workload=workload, label=label, warmup=warmup, observe=observe))
 
 
 def run_dura_smart(
@@ -231,31 +446,16 @@ def run_dura_smart(
     costs: CostModel | None = None,
     workload: str = "spend",
     label: str | None = None,
+    warmup: float = DEFAULT_WARMUP,
+    observe: bool = False,
 ) -> ExperimentResult:
     """SMaRtCoin over the BFT-SMART durability layer (Dura-SMaRt)."""
-    sim = Simulator(seed)
-    costs = costs or CostModel()
-    minters = all_minter_addresses(clients)
-    network, view, replicas = _build_modsmart_cluster(
-        sim, costs, n, verification,
-        lambda: DuraSmartDelivery(SmartCoin(minters=minters), storage))
-    stations, _ = deploy_clients(sim, network, lambda: view, clients,
-                                 workload=workload,
-                                 signed=_signed(verification))
-    for station in stations:
-        station.start_all(stagger=0.002)
-    sim.run(until=duration)
-    name = label or (f"Durable-SMaRt ({verification.value} verify, "
-                     f"{storage.value} writes, n={n})")
-    groups = replicas[0].delivery.group_sizes
-    mean_group = sum(groups) / len(groups) if groups else 0
-    return _measure(stations, duration, name,
-                    extra={"mean_group_commit": mean_group})
+    return run(Scenario(
+        system="dura", verification=verification, storage=storage, n=n,
+        clients=clients, duration=duration, seed=seed, costs=costs,
+        workload=workload, label=label, warmup=warmup, observe=observe))
 
 
-# ----------------------------------------------------------------------
-# Comparators (Table II)
-# ----------------------------------------------------------------------
 def run_tendermint(
     clients: int = 2400,
     duration: float = 6.0,
@@ -263,22 +463,13 @@ def run_tendermint(
     costs: CostModel | None = None,
     config: TendermintConfig | None = None,
     label: str = "Tendermint",
+    warmup: float = DEFAULT_WARMUP,
+    observe: bool = False,
 ) -> ExperimentResult:
-    sim = Simulator(seed)
-    costs = costs or CostModel()
-    network = Network(sim, costs.network)
-    config = config or TendermintConfig()
-    minters = all_minter_addresses(clients)
-    cluster = TendermintCluster(sim, network, config, costs,
-                                lambda: SmartCoin(minters=minters))
-    view = cluster.view()
-    stations, _ = deploy_clients(sim, network, lambda: view, clients,
-                                 workload="spend", signed=True)
-    for station in stations:
-        station.start_all(stagger=0.002)
-    sim.run(until=duration)
-    return _measure(stations, duration, label, warmup=min(2.0, duration / 3),
-                    extra={"blocks": cluster.nodes[0].blocks_committed})
+    return run(Scenario(
+        system="tendermint", clients=clients, duration=duration, seed=seed,
+        costs=costs, config=config, label=label, warmup=warmup,
+        observe=observe))
 
 
 def run_fabric(
@@ -288,19 +479,10 @@ def run_fabric(
     costs: CostModel | None = None,
     config: FabricConfig | None = None,
     label: str = "Hyperledger Fabric",
+    warmup: float = DEFAULT_WARMUP,
+    observe: bool = False,
 ) -> ExperimentResult:
-    sim = Simulator(seed)
-    costs = costs or CostModel()
-    network = Network(sim, costs.network)
-    config = config or FabricConfig()
-    minters = all_minter_addresses(clients)
-    cluster = FabricCluster(sim, network, config, costs,
-                            lambda: SmartCoin(minters=minters))
-    view = cluster.view()
-    stations, _ = deploy_clients(sim, network, lambda: view, clients,
-                                 workload="spend", signed=True)
-    for station in stations:
-        station.start_all(stagger=0.002)
-    sim.run(until=duration)
-    return _measure(stations, duration, label, warmup=min(2.0, duration / 3),
-                    extra={"blocks": cluster.peers[0].blocks_committed})
+    return run(Scenario(
+        system="fabric", clients=clients, duration=duration, seed=seed,
+        costs=costs, config=config, label=label, warmup=warmup,
+        observe=observe))

@@ -156,6 +156,9 @@ class ClientStation:
             special=spec.special,
         )
         self.outstanding[request.key] = _Outstanding(request, client)
+        obs = self.sim.obs
+        if obs.trace_pipeline:
+            obs.trace_request(request.key, "client_send", self.sim.now)
         self._buffer.append(request)
         if self._flush_timer is None:
             self._flush_timer = self.sim.schedule(self.send_window, self._flush)
@@ -210,6 +213,9 @@ class ClientStation:
                 latency = self.sim.now - record.request.sent_at
                 self.latency.record(latency)
                 self.meter.record()
+                obs = self.sim.obs
+                if obs.trace_pipeline:
+                    obs.trace_request(key, "reply", self.sim.now)
                 spec = OpSpec(op=record.request.op, size=record.request.size,
                               reply_size=record.request.reply_size,
                               signed=record.request.signed,

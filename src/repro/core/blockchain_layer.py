@@ -133,6 +133,12 @@ class SmartChainDelivery(SequentialDelivery):
         self.certs_completed = 0
         self.certs_timed_out = 0
 
+    def _count(self, name: str) -> None:
+        """Mirror a chain statistic into the metrics registry when observed."""
+        obs = self.replica.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(name, node=self.replica.id).inc()
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -250,6 +256,7 @@ class SmartChainDelivery(SequentialDelivery):
         block = Block(header, body, consensus_proof=dict(decision.proof))
         self.chain.append(block)
         self.blocks_built += 1
+        self._count("chain.blocks_built")
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(
                 self.LOG, ("results", number, tuple(result_records)),
@@ -275,6 +282,7 @@ class SmartChainDelivery(SequentialDelivery):
                     certificate.add(rid, signature)
                 block.certificate = certificate
                 self.certs_completed += 1
+                self._count("chain.certs_completed")
                 replica.store.append(
                     self.LOG, ("cert", number, certificate.to_record()),
                     certificate.size_bytes())
@@ -313,6 +321,9 @@ class SmartChainDelivery(SequentialDelivery):
         replica = self.replica
         results_map = self.app.execute_batch(decision.batch)
         self.executed_cid = decision.cid
+        obs = replica.sim.obs
+        if obs.trace_pipeline:
+            obs.trace_cid(replica.id, decision.cid, "execute", replica.sim.now)
         result_records = [
             (key[0], key[1], repr(value[0]), value[1])
             for key, value in results_map.items()
@@ -346,6 +357,7 @@ class SmartChainDelivery(SequentialDelivery):
         block = Block(header, body, consensus_proof=dict(decision.proof))
         self.chain.append(block)
         self.blocks_built += 1
+        self._count("chain.blocks_built")
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(
                 self.LOG,
@@ -361,6 +373,10 @@ class SmartChainDelivery(SequentialDelivery):
     def _header_stable(self, block: Block, decision: Decision,
                        results_map: dict, reconfig: ReconfigOutcome | None,
                        done) -> None:
+        obs = self.replica.sim.obs
+        if obs.trace_pipeline:
+            obs.trace_cid(self.replica.id, decision.cid, "body_write",
+                          self.replica.sim.now)
         if (self.variant is PersistenceVariant.STRONG
                 and self.storage is not StorageMode.MEMORY):
             completion = (lambda: self._finish_block(block, decision,
@@ -404,6 +420,7 @@ class SmartChainDelivery(SequentialDelivery):
         # Proceed uncertified; the block will be re-certified once the
         # missing recorded keys land on the chain (repersist_missing).
         self.certs_timed_out += 1
+        self._count("chain.certs_timed_out")
         _digest, completion = waiting
         self.replica.trace.emit(self.replica.sim.now, "persist-timeout",
                                 replica=self.replica.id, block=number)
@@ -482,6 +499,7 @@ class SmartChainDelivery(SequentialDelivery):
         except LedgerError:
             pass  # block not held locally (cannot happen in practice)
         self.certs_completed += 1
+        self._count("chain.certs_completed")
         if self.storage is not StorageMode.MEMORY:
             # Line 34: the certificate write is asynchronous — after a full
             # crash the group can always recreate the same certificate.
@@ -517,12 +535,18 @@ class SmartChainDelivery(SequentialDelivery):
     def _finish_block(self, block: Block, decision: Decision, results_map: dict,
                       reconfig: ReconfigOutcome | None, done) -> None:
         replica = self.replica
+        obs = replica.sim.obs
+        if (obs.trace_pipeline
+                and self.variant is PersistenceVariant.STRONG
+                and self.storage is not StorageMode.MEMORY):
+            obs.trace_cid(replica.id, decision.cid, "persist", replica.sim.now)
         replica.send_replies(results_map, decision.batch,
                              block_number=block.number)
         replica.note_executed(decision)
         if reconfig is not None and reconfig.new_view is not None:
             self.last_reconfig = block.number
             self.reconfig_blocks += 1
+            self._count("chain.reconfig_blocks")
             replica.install_view(reconfig.new_view)
             if self.on_reconfiguration is not None:
                 self.on_reconfiguration(block, reconfig)
@@ -541,6 +565,7 @@ class SmartChainDelivery(SequentialDelivery):
         replica = self.replica
         self.last_checkpoint = number
         self.checkpoints_taken += 1
+        self._count("chain.checkpoints_taken")
         info = self._make_checkpoint_info(number, self.executed_cid)
         self._checkpoints.append(info)
         # Keep the initial checkpoint plus the last three generations.

@@ -93,6 +93,9 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        # Observability: per-message-kind traffic counters when observed.
+        self._obs = sim.obs
+        sim.obs.networks.append(self)
 
     # ------------------------------------------------------------------
     # Membership
@@ -154,6 +157,9 @@ class Network:
         self.messages_sent += 1
         wire = msg.wire_size()
         self.bytes_sent += wire
+        if self._obs.enabled:
+            self._obs.metrics.counter("net.messages", kind=msg.kind).inc()
+            self._obs.metrics.counter("net.bytes", kind=msg.kind).inc(wire)
         serialize = wire * 8 / self.config.bandwidth_bps
         sender.nic.submit(serialize, self._propagate, src, dst, msg)
 
@@ -188,3 +194,15 @@ class Network:
             return
         self.messages_delivered += 1
         receiver.handler(src, msg)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready traffic summary for the run report."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+        }

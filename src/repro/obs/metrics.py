@@ -1,0 +1,182 @@
+"""Per-node metrics: counters, gauges and histograms behind one registry.
+
+The registry replaces the grab-bag of ad-hoc statistics attributes that used
+to be scraped off live objects at the end of a run (``blocks_built``,
+``certs_completed``, ``group_sizes``, ...).  Components record into typed
+instruments; :meth:`MetricsRegistry.snapshot` renders everything as plain
+JSON-serializable data for the run report.
+
+Instruments are identified by a name plus a frozen label set (Prometheus
+style), so the same metric can exist per node, per resource or per message
+kind without string mangling::
+
+    registry.counter("chain.blocks_built", node=0).inc()
+    registry.histogram("dura.group_commit_size").observe(7)
+
+All instruments are cheap plain-Python objects; recording into them costs an
+attribute update, so they are safe to keep on hot paths even in runs where
+the surrounding observability layer is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = tuple[str, tuple[tuple[str, Any], ...]]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, busy fractions)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Samples are retained (simulation scale keeps them small); the summary
+    renders count / mean / percentiles for the report.
+    """
+
+    __slots__ = ("samples", "total")
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+        self.total = 0.0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if count == 1:
+            self.samples.append(value)
+        else:
+            self.samples.extend([value] * count)
+        self.total += value * count
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "p50": 0.0,
+                    "p95": 0.0, "max": 0.0}
+        return {
+            "count": len(self.samples),
+            "mean": self.mean(),
+            "min": min(self.samples),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self.samples),
+        }
+
+
+class MetricsRegistry:
+    """Creates and memoizes instruments by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[LabelKey, Counter] = {}
+        self._gauges: dict[LabelKey, Gauge] = {}
+        self._histograms: dict[LabelKey, Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, Any]) -> LabelKey:
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = self._key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = self._key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = self._key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _label_tag(labels: tuple[tuple[str, Any], ...]) -> str:
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+    def _items(self) -> Iterator[tuple[str, Any]]:
+        for (name, labels), counter in sorted(self._counters.items()):
+            yield name + self._label_tag(labels), counter.value
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            yield name + self._label_tag(labels), gauge.value
+        for (name, labels), hist in sorted(self._histograms.items()):
+            yield name + self._label_tag(labels), hist.summary()
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as one flat JSON-serializable mapping."""
+        return dict(self._items())
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """Read a single instrument's current value (0 if never created)."""
+        key = self._key(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        if key in self._histograms:
+            return self._histograms[key].summary()
+        return 0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets (e.g. all nodes)."""
+        out = 0.0
+        for (metric, _labels), counter in self._counters.items():
+            if metric == name:
+                out += counter.value
+        for (metric, _labels), gauge in self._gauges.items():
+            if metric == name:
+                out += gauge.value
+        return out

@@ -1,0 +1,174 @@
+"""Span-based tracing of the request pipeline.
+
+The paper's bottleneck arguments (Observation 1, Table I) are claims about
+*where a request spends its time*: signature verification, synchronous
+ledger writes, PERSIST certificate assembly.  The tracer records, for a
+(sampled) subset of requests, a timestamp for every pipeline phase a request
+passes through, and assembles them into per-request spans:
+
+==============  ==============================================================
+phase           marked when
+==============  ==============================================================
+client_send     the client station buffers the request for transmission
+batch           the leader includes the request in a proposed batch
+propose         the leader broadcasts the PROPOSE for the request's cid
+write           the traced replica broadcasts its WRITE for that cid
+accept          the traced replica decides the cid (signed-ACCEPT quorum)
+execute         the delivery layer finished executing the batch
+body_write      block body + header are on stable media (storage barrier)
+persist         the block certificate completed (strong variant; otherwise
+                marked when the block finishes uncertified)
+reply           the client station assembled the reply quorum
+==============  ==============================================================
+
+Client-side phases are recorded per request key; consensus/delivery phases
+are recorded once per consensus id on a single designated replica and shared
+by every request of the batch (``bind`` links the two at batching time).
+The per-phase latency breakdown attributes, to each phase, the time elapsed
+since the previous recorded phase of the same span.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+__all__ = ["PHASES", "REQUEST_PHASES", "CID_PHASES", "PipelineTracer"]
+
+#: Pipeline order of every phase a traced request can pass through.
+PHASES = ("client_send", "batch", "propose", "write", "accept",
+          "execute", "body_write", "persist", "reply")
+
+#: Phases recorded per request key (at the client station / leader).
+REQUEST_PHASES = ("client_send", "batch", "reply")
+
+#: Phases recorded per consensus id on the designated pipeline replica.
+CID_PHASES = ("propose", "write", "accept", "execute", "body_write",
+              "persist")
+
+_PHASE_ORDER = {phase: index for index, phase in enumerate(PHASES)}
+
+
+class PipelineTracer:
+    """Collects phase marks and assembles them into spans.
+
+    ``sample_every=k`` traces one request in ``k`` (deterministically, from
+    the request key), bounding memory on long runs; consensus-level marks
+    are always recorded once per cid, which is cheap.
+    """
+
+    def __init__(self, sample_every: int = 1) -> None:
+        self.sample_every = max(1, sample_every)
+        self._request_marks: dict[Hashable, dict[str, float]] = {}
+        self._cid_marks: dict[int, dict[str, float]] = {}
+        self._bindings: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def sampled(self, key: tuple[int, int]) -> bool:
+        """Deterministic sampling decision for a request key."""
+        if self.sample_every == 1:
+            return True
+        client_id, req_id = key
+        return (client_id * 2654435761 + req_id) % self.sample_every == 0
+
+    def mark_request(self, key: Hashable, phase: str, now: float) -> None:
+        """Record a request-level phase timestamp (first mark wins)."""
+        marks = self._request_marks.setdefault(key, {})
+        if phase not in marks:
+            marks[phase] = now
+
+    def mark_cid(self, cid: int, phase: str, now: float) -> None:
+        """Record a consensus-level phase timestamp (first mark wins)."""
+        marks = self._cid_marks.setdefault(cid, {})
+        if phase not in marks:
+            marks[phase] = now
+
+    def bind(self, key: Hashable, cid: int) -> None:
+        """Link a traced request to the consensus instance ordering it."""
+        if key not in self._bindings:
+            self._bindings[key] = cid
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def span(self, key: Hashable) -> list[tuple[str, float]]:
+        """The (phase, time) chain of one traced request.
+
+        Chronological, with pipeline position breaking ties — systems that
+        overlap phases (Dura-SMaRt syncs the log *before* execution) still
+        yield non-negative per-phase durations attributed to the phase that
+        actually finished the wait.
+        """
+        marks = dict(self._request_marks.get(key, {}))
+        cid = self._bindings.get(key)
+        if cid is not None:
+            for phase, when in self._cid_marks.get(cid, {}).items():
+                marks.setdefault(phase, when)
+        return sorted(marks.items(),
+                      key=lambda item: (item[1], _PHASE_ORDER[item[0]]))
+
+    def spans(self) -> dict[Hashable, list[tuple[str, float]]]:
+        """Spans of every traced request."""
+        return {key: self.span(key) for key in self._request_marks}
+
+    def complete_spans(
+        self, required: tuple[str, ...] = PHASES
+    ) -> dict[Hashable, list[tuple[str, float]]]:
+        """Spans that recorded every phase in ``required``."""
+        out = {}
+        for key, span in self.spans().items():
+            present = {phase for phase, _ in span}
+            if all(phase in present for phase in required):
+                out[key] = span
+        return out
+
+    def phase_durations(self) -> dict[str, list[float]]:
+        """Per-phase latency samples: time since the previous recorded phase.
+
+        The first phase of a span (normally ``client_send``) anchors the
+        span and contributes no duration of its own.
+        """
+        durations: dict[str, list[float]] = {}
+        for span in self.spans().values():
+            for (_, prev_t), (phase, t) in zip(span, span[1:]):
+                durations.setdefault(phase, []).append(max(0.0, t - prev_t))
+        return durations
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """JSON-ready per-phase latency summary, in pipeline order."""
+        durations = self.phase_durations()
+        out: dict[str, dict[str, float]] = {}
+        for phase in PHASES:
+            samples = durations.get(phase)
+            if not samples:
+                continue
+            ordered = sorted(samples)
+            out[phase] = {
+                "count": len(ordered),
+                "mean_s": sum(ordered) / len(ordered),
+                "p50_s": ordered[len(ordered) // 2],
+                "p95_s": ordered[min(len(ordered) - 1,
+                                     int(0.95 * len(ordered)))],
+                "max_s": ordered[-1],
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def traced_requests(self) -> int:
+        return len(self._request_marks)
+
+    @property
+    def traced_cids(self) -> int:
+        return len(self._cid_marks)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "sample_every": self.sample_every,
+            "traced_requests": self.traced_requests,
+            "traced_cids": self.traced_cids,
+            "phases": self.breakdown(),
+        }

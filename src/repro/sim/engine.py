@@ -20,6 +20,7 @@ import random
 from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
+from repro.obs import Observability
 
 __all__ = ["Event", "Simulator"]
 
@@ -71,6 +72,12 @@ class Simulator:
         Seed for the simulator-owned random generator.  All stochastic model
         components (network jitter, client think times, ...) must draw from
         ``self.rng`` so runs are reproducible.
+    obs:
+        Observability state shared by everything built on this simulator
+        (``sim.obs``).  Defaults to a fresh *disabled* instance, which keeps
+        every instrumented hot path on its fast branch; pass
+        ``Observability(enabled=True)`` to record metrics, pipeline spans
+        and resource utilization for the run report.
 
     Example
     -------
@@ -83,10 +90,11 @@ class Simulator:
     ['a', 'b']
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, obs: Observability | None = None):
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self.seed = seed
+        self.obs = obs if obs is not None else Observability()
         self._heap: list[Event] = []
         self._seq: int = 0
         self._running = False

@@ -64,6 +64,14 @@ class Resource:
         self.jobs_served = 0
         self.busy_time = 0.0          # total server-seconds of work served
         self._last_change = sim.now
+        # Observability: every resource announces itself (cheap, once); the
+        # queue-depth integral is maintained only when the run is observed.
+        obs = sim.obs
+        obs.resources.append(self)
+        self._observed = obs.enabled
+        self._queue_area = 0.0        # ∫ queue length dt
+        self._queue_peak = 0
+        self._queue_last_t = sim.now
 
     # ------------------------------------------------------------------
     # Submission
@@ -80,6 +88,8 @@ class Resource:
         """
         if service_time < 0:
             raise SimulationError("service time must be non-negative")
+        if self._observed:
+            self._integrate_queue()
         self._queue.append(_Job(service_time, fn, args))
         self._dispatch()
 
@@ -112,11 +122,15 @@ class Resource:
     # Internal dispatch
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
+        if self._observed and self._queue and self._busy < self.servers:
+            self._integrate_queue()
         while self._queue and self._busy < self.servers:
             job = self._queue.popleft()
             self._busy += 1
             self.busy_time += job.service
             self.sim.schedule(job.service, self._complete, job)
+        if self._observed and len(self._queue) > self._queue_peak:
+            self._queue_peak = len(self._queue)
 
     def _complete(self, job: _Job) -> None:
         self._busy -= 1
@@ -144,6 +158,42 @@ class Resource:
         if horizon <= 0:
             return 0.0
         return min(1.0, self.busy_time / (horizon * self.servers))
+
+    # ------------------------------------------------------------------
+    # Observability (queue-depth accounting is active only when observed)
+    # ------------------------------------------------------------------
+    def _integrate_queue(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._queue_last_t
+        if elapsed > 0:
+            self._queue_area += len(self._queue) * elapsed
+            self._queue_last_t = now
+
+    def mean_queue_depth(self, horizon: float | None = None) -> float:
+        """Time-averaged number of queued (not yet serving) jobs."""
+        end = self.sim.now if horizon is None else horizon
+        if end <= 0:
+            return 0.0
+        area = self._queue_area
+        if end > self._queue_last_t:
+            area += len(self._queue) * (end - self._queue_last_t)
+        return area / end
+
+    @property
+    def queue_peak(self) -> int:
+        """Deepest queue observed (0 unless the run was observed)."""
+        return self._queue_peak
+
+    def stats(self, horizon: float | None = None) -> dict:
+        """JSON-ready utilization entry for the run report."""
+        return {
+            "name": self.name,
+            "servers": self.servers,
+            "busy_fraction": self.utilization(horizon),
+            "jobs_served": self.jobs_served,
+            "queue_peak": self._queue_peak,
+            "mean_queue_depth": self.mean_queue_depth(horizon),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -15,7 +15,15 @@ from typing import Any
 
 from repro.sim.engine import Simulator
 
-__all__ = ["ThroughputMeter", "LatencyRecorder", "TraceLog", "trimmed_mean"]
+__all__ = [
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "TraceLog",
+    "trimmed_mean",
+    "merge_stamps",
+    "op_window_rates",
+    "bucket_timeline",
+]
 
 
 class ThroughputMeter:
@@ -33,6 +41,10 @@ class ThroughputMeter:
     def record(self, count: int = 1) -> None:
         self.total += count
         self._stamps.append((self.sim.now, count))
+
+    def stamps(self) -> list[tuple[float, int]]:
+        """The raw ``(time, count)`` completion stamps, in recording order."""
+        return list(self._stamps)
 
     def interval_rates(
         self, width: float, start: float = 0.0, end: float | None = None
@@ -139,6 +151,54 @@ class TraceLog:
 
     def count(self, kind: str) -> int:
         return sum(1 for _, k, _ in self.records if k == kind)
+
+
+def merge_stamps(meters: list[ThroughputMeter], start: float = 0.0,
+                 end: float | None = None) -> list[tuple[float, int]]:
+    """Merge the stamps of several meters into one time-ordered series,
+    optionally restricted to ``[start, end)``."""
+    merged = sorted((when, count)
+                    for meter in meters for when, count in meter.stamps())
+    if start > 0.0 or end is not None:
+        merged = [(when, count) for when, count in merged
+                  if when >= start and (end is None or when < end)]
+    return merged
+
+
+def op_window_rates(stamps: list[tuple[float, int]],
+                    op_window: int) -> list[float]:
+    """Throughput per *operation-count* window over a merged stamp series —
+    the paper's measurement method (Section VI-A), shared by the harness
+    and the timeline benchmarks."""
+    rates: list[float] = []
+    window_start: float | None = None
+    accumulated = 0
+    for when, count in stamps:
+        if window_start is None:
+            window_start = when
+            continue
+        accumulated += count
+        if accumulated >= op_window:
+            elapsed = when - window_start
+            if elapsed > 0:
+                rates.append(accumulated / elapsed)
+            window_start = when
+            accumulated = 0
+    return rates
+
+
+def bucket_timeline(stamps: list[tuple[float, int]], horizon: float,
+                    width: float) -> list[tuple[float, float]]:
+    """(window midpoint, tx/s) pairs over fixed time buckets — the series
+    plotted in Figure 7."""
+    if horizon <= 0 or width <= 0:
+        return []
+    buckets = [0.0] * max(1, int(horizon / width))
+    for when, count in stamps:
+        index = min(len(buckets) - 1, int(when / width))
+        buckets[index] += count / width
+    return [(round((i + 0.5) * width, 6), rate)
+            for i, rate in enumerate(buckets)]
 
 
 def trimmed_mean(values: list[float], discard_fraction: float = 0.2) -> float:

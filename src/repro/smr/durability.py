@@ -91,6 +91,11 @@ class DuraSmartDelivery(DeliveryLayer):
 
     def _synced(self, group: list[Decision]) -> None:
         self._sync_in_flight = False
+        obs = self.replica.sim.obs
+        if obs.trace_pipeline:
+            now = self.replica.sim.now
+            for decision in group:
+                obs.trace_cid(self.replica.id, decision.cid, "body_write", now)
         self._deliver_group(group)
         self._maybe_start_sync()
 
@@ -98,6 +103,10 @@ class DuraSmartDelivery(DeliveryLayer):
         if not group:
             return
         self.group_sizes.append(len(group))
+        obs = self.replica.sim.obs
+        if obs.enabled:
+            obs.metrics.histogram(
+                "dura.group_size", node=self.replica.id).observe(len(group))
         replica = self.replica
         costs = replica.costs
         # One per-delivery overhead for the whole group (the key win).
@@ -109,9 +118,13 @@ class DuraSmartDelivery(DeliveryLayer):
 
     def _apply_group(self, group: list[Decision]) -> None:
         replica = self.replica
+        obs = replica.sim.obs
         for decision in group:
             results = self.app.execute_batch(decision.batch)
             self.executed_cid = decision.cid
+            if obs.trace_pipeline:
+                obs.trace_cid(replica.id, decision.cid, "execute",
+                              replica.sim.now)
             replica.send_replies(results, decision.batch)
             replica.note_executed(decision)
         self._since_checkpoint += len(group)

@@ -414,6 +414,13 @@ class ModSmartReplica:
                          batch_hash=batch_hash, size=batch_wire_size(batch))
         self.trace.emit(self.sim.now, "propose", replica=self.id, cid=cid,
                         batch=len(batch))
+        obs = self.sim.obs
+        if obs.trace_pipeline and self.id == obs.pipeline_node:
+            now = self.sim.now
+            obs.tracer.mark_cid(cid, "propose", now)
+            for req in batch:
+                if obs.trace_request(req.key, "batch", now):
+                    obs.tracer.bind(req.key, cid)
         self.broadcast_view(msg)
 
     # ==================================================================
@@ -450,6 +457,9 @@ class ModSmartReplica:
             if self.active:
                 write = WriteMsg(cid=msg.cid, regency=msg.regency,
                                  batch_hash=msg.batch_hash)
+                obs = self.sim.obs
+                if obs.trace_pipeline:
+                    obs.trace_cid(self.id, msg.cid, "write", self.sim.now)
                 self.broadcast_view(write)
         # A lagging replica may already hold a quorum of ACCEPTs that was
         # waiting only for the batch itself.
@@ -549,6 +559,9 @@ class ModSmartReplica:
             self.inflight.discard(req.key)
         self.trace.emit(self.sim.now, "decide", replica=self.id,
                         cid=decision.cid, batch=len(decision.batch))
+        obs = self.sim.obs
+        if obs.trace_pipeline:
+            obs.trace_cid(self.id, decision.cid, "accept", self.sim.now)
         self.synchronizer.on_progress()
         if (decision.batch and decision.batch[0].special == "vmview"
                 and self.config.view_manager_public is not None):

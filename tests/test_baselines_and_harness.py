@@ -141,7 +141,7 @@ class TestHarness:
         assert result.throughput > 500
         assert result.latency_mean > 0
         assert result.completed > 0
-        assert result.extra["blocks"] > 0
+        assert result.metrics["blocks"] > 0
 
     def test_naive_run(self):
         result = run_naive_smartcoin(VerificationMode.PARALLEL,
