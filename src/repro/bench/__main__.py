@@ -8,6 +8,10 @@ Examples::
     python -m repro.bench smartchain --variant weak --clients 600
     python -m repro.bench table1 --report table1.json   # observed run + JSON
     python -m repro.bench --smoke --report /tmp/r.json  # CI schema check
+    python -m repro.bench --list                        # experiments + defaults
+    python -m repro.bench smartchain --trace out.json   # Perfetto trace
+    python -m repro.bench table1 --audit                # online safety auditor
+    python -m repro.bench table1 --check-against benchmarks/results/BENCH_table1.json
 
 ``--report PATH`` runs every row with observability enabled and writes a
 machine-readable bench report (schema ``repro.obs/bench-report/v1``): the
@@ -15,6 +19,14 @@ throughput/latency summary, the per-phase pipeline latency breakdown and the
 per-resource busy fractions of each row.  ``--smoke`` runs one short
 observed SMARTCHAIN row and validates the report schema (at least six
 pipeline phases must appear) — the CI smoke target.
+
+repro.obs v2 additions: ``--audit`` runs the online safety auditor over the
+protocol event stream (exit code 2 on any invariant violation);
+``--trace PATH`` writes the first row as Chrome trace-event JSON (open in
+https://ui.perfetto.dev); ``--events PATH`` writes the raw protocol event
+stream as JSONL; ``--check-against BASELINE`` compares the fresh report
+against a saved baseline report with tolerance bands (exit code 1 on
+drift beyond tolerance).
 
 For the figure sweeps (6, 7, 8) use the pytest benchmarks, which also assert
 the shapes: ``pytest benchmarks/ --benchmark-only``.
@@ -26,8 +38,11 @@ import argparse
 import json
 import sys
 
+import dataclasses
+
 from repro.bench.calibration import calibration_report
 from repro.bench.harness import (
+    Scenario,
     run_dura_smart,
     run_fabric,
     run_naive_smartcoin,
@@ -35,7 +50,18 @@ from repro.bench.harness import (
     run_tendermint,
 )
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
+from repro.obs.audit import AuditError
+from repro.obs.compare import compare_reports
 from repro.obs.report import build_bench_report, validate_bench_report
+from repro.obs.traceview import build_trace, write_trace
+
+#: Experiment registry for ``--list``: name -> (rows, what it reproduces).
+EXPERIMENTS = {
+    "table1": ("5 rows", "Table I — naive SMaRt-based coin vs Dura-SMaRt"),
+    "table2": ("4 rows", "Table II — SMARTCHAIN vs Tendermint vs Fabric"),
+    "calibration": ("text", "anchor fit against the paper's numbers"),
+    "smartchain": ("1 row", "one SMARTCHAIN config (--variant/--storage/--n)"),
+}
 
 
 def _common(parser: argparse.ArgumentParser) -> None:
@@ -44,15 +70,40 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     # Accepted both before and after the experiment name; SUPPRESS keeps
     # the subparser from clobbering a value given at the top level.
-    parser.add_argument("--report", metavar="PATH",
-                        default=argparse.SUPPRESS,
-                        help=argparse.SUPPRESS)
-    parser.add_argument("--smoke", action="store_true",
-                        default=argparse.SUPPRESS,
-                        help=argparse.SUPPRESS)
+    for flag, kwargs in (
+            ("--report", {"metavar": "PATH"}),
+            ("--smoke", {"action": "store_true"}),
+            ("--audit", {"action": "store_true"}),
+            ("--trace", {"metavar": "PATH"}),
+            ("--events", {"metavar": "PATH"}),
+            ("--check-against", {"metavar": "BASELINE",
+                                 "dest": "check_against"})):
+        parser.add_argument(flag, default=argparse.SUPPRESS,
+                            help=argparse.SUPPRESS, **kwargs)
+
+
+def _print_experiment_list() -> None:
+    print("experiments:")
+    for name, (rows, what) in EXPERIMENTS.items():
+        print(f"  {name:<12} {rows:<7} {what}")
+    print()
+    print("scenario defaults (repro.bench.harness.Scenario):")
+    for spec in dataclasses.fields(Scenario):
+        default = spec.default
+        if default is dataclasses.MISSING:
+            default = "(required)"
+        print(f"  {spec.name:<22} {default}")
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except AuditError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench",
                                      description=__doc__)
     parser.add_argument("--report", metavar="PATH", default=None,
@@ -61,6 +112,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run one short observed row and validate the "
                              "report schema (CI smoke target)")
+    parser.add_argument("--list", action="store_true", dest="list_experiments",
+                        help="list experiments and Scenario defaults, "
+                             "then exit")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the online safety auditor over the "
+                             "protocol event stream (exit 2 on violation)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the first row's run as Chrome "
+                             "trace-event JSON (open in Perfetto)")
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write the first row's protocol event stream "
+                             "as JSONL")
+    parser.add_argument("--check-against", metavar="BASELINE", default=None,
+                        dest="check_against",
+                        help="compare the report against a saved baseline "
+                             "bench report (exit 1 on drift beyond "
+                             "tolerance)")
     parser.set_defaults(clients=1200, duration=2.5, seed=1)
     sub = parser.add_subparsers(dest="experiment")
 
@@ -76,21 +144,35 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--n", type=int, default=4)
 
     args = parser.parse_args(argv)
+    if args.list_experiments:
+        _print_experiment_list()
+        return 0
     if args.experiment is None and not args.smoke:
-        parser.error("an experiment is required (or use --smoke)")
+        parser.error("an experiment is required (or use --smoke/--list)")
     if args.smoke and args.experiment is not None:
         parser.error("--smoke runs its own fixed row; drop the "
                      "experiment name")
-    if args.report not in (None, "-"):
-        try:  # fail before the run, not after minutes of simulation
-            with open(args.report, "a", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            parser.error(f"cannot write report to {args.report}: {exc}")
+    for path in (args.report, args.trace, args.events):
+        if path not in (None, "-"):
+            try:  # fail before the run, not after minutes of simulation
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write to {path}: {exc}")
+    baseline = None
+    if args.check_against is not None:
+        try:
+            with open(args.check_against, encoding="utf-8") as fh:
+                baseline = validate_bench_report(json.load(fh))
+        except (OSError, ValueError) as exc:
+            parser.error(
+                f"cannot load baseline {args.check_against}: {exc}")
 
-    observe = args.report is not None or args.smoke
+    observe = (args.report is not None or args.smoke
+               or args.trace is not None or args.events is not None
+               or baseline is not None)
     kwargs = dict(clients=args.clients, duration=args.duration,
-                  seed=args.seed, observe=observe)
+                  seed=args.seed, observe=observe, audit=args.audit)
 
     options = {"clients": args.clients, "duration": args.duration,
                "seed": args.seed}
@@ -98,7 +180,7 @@ def main(argv: list[str] | None = None) -> int:
         experiment = "smoke"
         options = {"clients": 300, "duration": 2.0, "seed": args.seed}
         rows = [run_smartchain(PersistenceVariant.STRONG, StorageMode.SYNC,
-                               observe=True, **options)]
+                               observe=True, audit=args.audit, **options)]
     elif args.experiment == "calibration":
         print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
         for label, paper, measured, ratio in calibration_report(
@@ -140,8 +222,9 @@ def main(argv: list[str] | None = None) -> int:
 
     # With the report going to stdout, keep stdout pure JSON and move the
     # human-readable rows to stderr.
-    rows_stream = sys.stderr if args.report in ("-", None) and observe \
-        else sys.stdout
+    print_report = args.report is not None or args.smoke
+    report_to_stdout = print_report and args.report in (None, "-")
+    rows_stream = sys.stderr if report_to_stdout else sys.stdout
     for result in rows:
         print(result.row(), file=rows_stream)
 
@@ -152,13 +235,28 @@ def main(argv: list[str] | None = None) -> int:
             options=options,
         )
         validate_bench_report(report, min_phases=6 if args.smoke else 0)
-        payload = json.dumps(report, indent=2, sort_keys=True)
-        if args.report in (None, "-"):
-            print(payload)
-        else:
-            with open(args.report, "w", encoding="utf-8") as fh:
-                fh.write(payload + "\n")
-            print(f"report written to {args.report}", file=sys.stderr)
+        if args.trace is not None:
+            handle = rows[0].handle
+            trace = build_trace(handle.obs, horizon=handle.sim.now,
+                                label=rows[0].label)
+            write_trace(trace, args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.events is not None:
+            rows[0].handle.obs.events.write_jsonl(args.events)
+            print(f"events written to {args.events}", file=sys.stderr)
+        if print_report:
+            payload = json.dumps(report, indent=2, sort_keys=True)
+            if report_to_stdout:
+                print(payload)
+            else:
+                with open(args.report, "w", encoding="utf-8") as fh:
+                    fh.write(payload + "\n")
+                print(f"report written to {args.report}", file=sys.stderr)
+        if baseline is not None:
+            comparison = compare_reports(baseline, report)
+            print(comparison.format(), file=sys.stderr)
+            if not comparison.ok:
+                return 1
     return 0
 
 

@@ -41,6 +41,7 @@ from repro.core.node import bootstrap
 from repro.crypto.keys import KeyRegistry
 from repro.net.network import Network
 from repro.obs import Observability, build_run_report
+from repro.obs.audit import SafetyAuditor
 from repro.sim.engine import Simulator
 from repro.sim.trace import merge_stamps, op_window_rates, trimmed_mean
 from repro.smr.durability import DuraSmartDelivery
@@ -110,6 +111,13 @@ class Scenario:
     observe: bool = False
     #: Trace one request in this many (deterministic in the request key).
     trace_sample_every: int = 1
+    #: Record the typed protocol event stream (defaults to ``observe``).
+    record_events: bool | None = None
+    #: Attach the online safety auditor (implies event recording); any
+    #: invariant violation raises AuditError when the run finishes.
+    audit: bool = False
+    #: Bound on retained protocol events (oldest dropped and counted).
+    event_capacity: int = 100_000
 
     def describe(self) -> dict[str, Any]:
         """JSON-safe summary of the scenario (for bench reports)."""
@@ -154,6 +162,7 @@ class ExperimentResult:
     latency_p95: float
     completed: int
     duration: float
+    latency_p99: float = 0.0
     warmup: float = DEFAULT_WARMUP
     interval_rates: list[float] = field(default_factory=list)
     #: Scalar outcome metrics (blocks built, certificates, group commit ...).
@@ -170,6 +179,7 @@ class ExperimentResult:
             "throughput": self.throughput,
             "latency_mean": self.latency_mean,
             "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
             "completed": self.completed,
             "duration": self.duration,
             "warmup": self.warmup,
@@ -204,15 +214,19 @@ def _measure(stations: list[ClientStation], duration: float,
         throughput = total_in_window / (duration - warmup)
     else:
         throughput = 0.0
-    latencies = [lat for st in stations for lat in st.latency.samples]
+    latencies = sorted(lat for st in stations for lat in st.latency.samples)
     mean = sum(latencies) / len(latencies) if latencies else 0.0
-    p95 = sorted(latencies)[int(0.95 * len(latencies))] if latencies else 0.0
+    p95 = latencies[min(len(latencies) - 1,
+                        int(0.95 * len(latencies)))] if latencies else 0.0
+    p99 = latencies[min(len(latencies) - 1,
+                        int(0.99 * len(latencies)))] if latencies else 0.0
     completed = sum(st.meter.total for st in stations)
     return ExperimentResult(
         label=label,
         throughput=throughput,
         latency_mean=mean,
         latency_p95=p95,
+        latency_p99=p99,
         completed=completed,
         duration=duration,
         warmup=warmup,
@@ -363,15 +377,26 @@ def run(scenario: Scenario) -> ExperimentResult:
 
     When ``scenario.observe`` is set, the run records metrics, pipeline
     spans and resource utilization, and the result carries a machine-
-    readable report (:attr:`ExperimentResult.report`).
+    readable report (:attr:`ExperimentResult.report`).  When
+    ``scenario.audit`` is set, a :class:`~repro.obs.audit.SafetyAuditor`
+    checks the protocol event stream online and the run fails with
+    :class:`~repro.obs.audit.AuditError` on any invariant violation.
     """
     builder = _BUILDERS.get(scenario.system)
     if builder is None:
         raise ValueError(
             f"unknown system {scenario.system!r}; "
             f"expected one of {sorted(_BUILDERS)}")
+    record_events = scenario.record_events
+    if record_events is None:
+        record_events = scenario.observe
     obs = Observability(enabled=scenario.observe,
-                        sample_every=scenario.trace_sample_every)
+                        sample_every=scenario.trace_sample_every,
+                        record_events=record_events or scenario.audit,
+                        event_capacity=scenario.event_capacity)
+    auditor = SafetyAuditor() if scenario.audit else None
+    if auditor is not None:
+        auditor.attach(obs)
     sim = Simulator(scenario.seed, obs=obs)
     costs = scenario.costs or CostModel()
     built = builder(sim, scenario, costs)
@@ -387,6 +412,8 @@ def run(scenario: Scenario) -> ExperimentResult:
                               stations=built.stations, system=built.system)
     if scenario.observe:
         result.report = build_run_report(result, obs, scenario.duration)
+    if auditor is not None:
+        auditor.raise_if_violated()
     return result
 
 
@@ -407,13 +434,14 @@ def run_smartchain(
     label: str | None = None,
     warmup: float = DEFAULT_WARMUP,
     observe: bool = False,
+    audit: bool = False,
 ) -> ExperimentResult:
     """One SMARTCHAIN configuration under the SMaRtCoin workload."""
     return run(Scenario(
         system="smartchain", variant=variant, storage=storage,
         verification=verification, n=n, clients=clients, duration=duration,
         seed=seed, checkpoint_period=checkpoint_period, costs=costs,
-        workload=workload, label=label, warmup=warmup, observe=observe))
+        workload=workload, label=label, warmup=warmup, observe=observe, audit=audit))
 
 
 def run_naive_smartcoin(
@@ -428,12 +456,13 @@ def run_naive_smartcoin(
     label: str | None = None,
     warmup: float = DEFAULT_WARMUP,
     observe: bool = False,
+    audit: bool = False,
 ) -> ExperimentResult:
     """The naive design of Section IV: app-level blockchain inside the SMR."""
     return run(Scenario(
         system="naive", verification=verification, storage=storage, n=n,
         clients=clients, duration=duration, seed=seed, costs=costs,
-        workload=workload, label=label, warmup=warmup, observe=observe))
+        workload=workload, label=label, warmup=warmup, observe=observe, audit=audit))
 
 
 def run_dura_smart(
@@ -448,12 +477,13 @@ def run_dura_smart(
     label: str | None = None,
     warmup: float = DEFAULT_WARMUP,
     observe: bool = False,
+    audit: bool = False,
 ) -> ExperimentResult:
     """SMaRtCoin over the BFT-SMART durability layer (Dura-SMaRt)."""
     return run(Scenario(
         system="dura", verification=verification, storage=storage, n=n,
         clients=clients, duration=duration, seed=seed, costs=costs,
-        workload=workload, label=label, warmup=warmup, observe=observe))
+        workload=workload, label=label, warmup=warmup, observe=observe, audit=audit))
 
 
 def run_tendermint(
@@ -465,11 +495,12 @@ def run_tendermint(
     label: str = "Tendermint",
     warmup: float = DEFAULT_WARMUP,
     observe: bool = False,
+    audit: bool = False,
 ) -> ExperimentResult:
     return run(Scenario(
         system="tendermint", clients=clients, duration=duration, seed=seed,
         costs=costs, config=config, label=label, warmup=warmup,
-        observe=observe))
+        observe=observe, audit=audit))
 
 
 def run_fabric(
@@ -481,8 +512,9 @@ def run_fabric(
     label: str = "Hyperledger Fabric",
     warmup: float = DEFAULT_WARMUP,
     observe: bool = False,
+    audit: bool = False,
 ) -> ExperimentResult:
     return run(Scenario(
         system="fabric", clients=clients, duration=duration, seed=seed,
         costs=costs, config=config, label=label, warmup=warmup,
-        observe=observe))
+        observe=observe, audit=audit))

@@ -24,8 +24,6 @@ from repro.smr.views import View
 
 __all__ = ["OpSpec", "Client", "ClientStation"]
 
-_client_ids = itertools.count(10_000)
-
 
 @dataclass
 class OpSpec:
@@ -58,7 +56,11 @@ class Client:
         on_result: Callable[[OpSpec, Any], None] | None = None,
     ):
         self.station = station
-        self.id = client_id if client_id is not None else next(_client_ids)
+        # Ids are allocated per station, not from a process-global counter:
+        # two runs of the same scenario in one process must produce
+        # byte-identical event/trace exports (repro.obs v2 determinism).
+        self.id = (client_id if client_id is not None
+                   else station.allocate_client_id())
         self.workload = iter(workload)
         self.think_time = think_time
         self.on_result = on_result
@@ -110,6 +112,7 @@ class ClientStation:
         self.send_window = send_window
         self.resend_timeout = resend_timeout
         self.clients: dict[int, Client] = {}
+        self._client_ids = itertools.count(10_000 + station_id * 100_000)
         self.outstanding: dict[RequestKey, _Outstanding] = {}
         self.meter = ThroughputMeter(sim)
         self.latency = LatencyRecorder()
@@ -122,6 +125,10 @@ class ClientStation:
     # ------------------------------------------------------------------
     # Client management
     # ------------------------------------------------------------------
+    def allocate_client_id(self) -> int:
+        """Next station-local client id (deterministic per simulation)."""
+        return next(self._client_ids)
+
     def adopt(self, client: Client) -> None:
         self.clients[client.id] = client
 

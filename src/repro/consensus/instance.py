@@ -9,7 +9,7 @@ machine testable in isolation.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.crypto.keys import Signature
 
@@ -27,11 +27,19 @@ class Phase(enum.Enum):
 
 
 class ConsensusInstance:
-    """Vote-counting state for consensus instance ``cid`` at one replica."""
+    """Vote-counting state for consensus instance ``cid`` at one replica.
 
-    def __init__(self, cid: int, quorum: int):
+    ``observer``, when set, is called as ``observer(cid, phase_name,
+    batch_hash)`` on every phase advance (the replica wires it to the
+    protocol event stream when event recording is on; ``None`` keeps the
+    hot path free of any observability cost).
+    """
+
+    def __init__(self, cid: int, quorum: int,
+                 observer: Callable[[int, str, bytes | None], None] | None = None):
         self.cid = cid
         self.quorum = quorum
+        self.observer = observer
         self.phase = Phase.IDLE
         self.regency: int | None = None
         self.batch: list[ClientRequest] | None = None
@@ -62,6 +70,7 @@ class ConsensusInstance:
         self.batch_hash = batch_hash
         if self.phase is Phase.IDLE:
             self.phase = Phase.PROPOSED
+            self._notify("proposed", batch_hash)
             return True
         return False
 
@@ -76,6 +85,7 @@ class ConsensusInstance:
                 and self.phase in (Phase.IDLE, Phase.PROPOSED)
                 and self.batch_hash == batch_hash):
             self.phase = Phase.ACCEPTED
+            self._notify("accepted", batch_hash)
             return True
         return False
 
@@ -97,8 +107,13 @@ class ConsensusInstance:
                 and self.batch_hash == batch_hash):
             self.phase = Phase.DECIDED
             self.decided_hash = batch_hash
+            self._notify("decided", batch_hash)
             return True
         return False
+
+    def _notify(self, phase_name: str, batch_hash: bytes | None) -> None:
+        if self.observer is not None:
+            self.observer(self.cid, phase_name, batch_hash)
 
     # ------------------------------------------------------------------
     # Accessors

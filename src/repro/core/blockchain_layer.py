@@ -257,6 +257,12 @@ class SmartChainDelivery(SequentialDelivery):
         self.chain.append(block)
         self.blocks_built += 1
         self._count("chain.blocks_built")
+        obs = replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("block-append", replica.id, replica.sim.now,
+                            block=number, cid=decision.cid,
+                            digest=block.digest().hex(),
+                            view=header.view_id)
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(
                 self.LOG, ("results", number, tuple(result_records)),
@@ -283,6 +289,12 @@ class SmartChainDelivery(SequentialDelivery):
                 block.certificate = certificate
                 self.certs_completed += 1
                 self._count("chain.certs_completed")
+                if obs.record_events:
+                    obs.events.emit("persist-certificate", replica.id,
+                                    replica.sim.now, block=number,
+                                    digest=digest.hex(),
+                                    view=replica.cv.view_id,
+                                    signers=sorted(matching))
                 replica.store.append(
                     self.LOG, ("cert", number, certificate.to_record()),
                     certificate.size_bytes())
@@ -358,6 +370,12 @@ class SmartChainDelivery(SequentialDelivery):
         self.chain.append(block)
         self.blocks_built += 1
         self._count("chain.blocks_built")
+        obs = replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("block-append", replica.id, replica.sim.now,
+                            block=number, cid=decision.cid,
+                            digest=block.digest().hex(),
+                            view=header.view_id)
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(
                 self.LOG,
@@ -404,6 +422,10 @@ class SmartChainDelivery(SequentialDelivery):
             signature = key.sign(digest)
             msg = PersistMsg(block_number=block.number, header_digest=digest,
                              replica_id=replica.id, signature=signature)
+            obs = replica.sim.obs
+            if obs.record_events:
+                obs.events.emit("persist-vote", replica.id, replica.sim.now,
+                                **msg.event_fields())
             replica.broadcast_view(msg)
 
         replica.charge_pool(replica.costs.crypto.sign_time, signed)
@@ -424,6 +446,10 @@ class SmartChainDelivery(SequentialDelivery):
         _digest, completion = waiting
         self.replica.trace.emit(self.replica.sim.now, "persist-timeout",
                                 replica=self.replica.id, block=number)
+        obs = self.replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("persist-timeout", self.replica.id,
+                            self.replica.sim.now, block=number)
         completion()
 
     def _on_persist(self, src: int, msg: PersistMsg) -> None:
@@ -500,6 +526,12 @@ class SmartChainDelivery(SequentialDelivery):
             pass  # block not held locally (cannot happen in practice)
         self.certs_completed += 1
         self._count("chain.certs_completed")
+        obs = self.replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("persist-certificate", self.replica.id,
+                            self.replica.sim.now, block=number,
+                            digest=digest.hex(), view=view.view_id,
+                            signers=sorted(matching))
         if self.storage is not StorageMode.MEMORY:
             # Line 34: the certificate write is asynchronous — after a full
             # crash the group can always recreate the same certificate.
@@ -547,6 +579,10 @@ class SmartChainDelivery(SequentialDelivery):
             self.last_reconfig = block.number
             self.reconfig_blocks += 1
             self._count("chain.reconfig_blocks")
+            if obs.record_events:
+                obs.events.emit("reconfig", replica.id, replica.sim.now,
+                                op="install", block=block.number,
+                                view=reconfig.new_view.view_id)
             replica.install_view(reconfig.new_view)
             if self.on_reconfiguration is not None:
                 self.on_reconfiguration(block, reconfig)
@@ -566,6 +602,10 @@ class SmartChainDelivery(SequentialDelivery):
         self.last_checkpoint = number
         self.checkpoints_taken += 1
         self._count("chain.checkpoints_taken")
+        obs = replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("checkpoint", replica.id, replica.sim.now,
+                            block=number, cid=self.executed_cid)
         info = self._make_checkpoint_info(number, self.executed_cid)
         self._checkpoints.append(info)
         # Keep the initial checkpoint plus the last three generations.
@@ -895,6 +935,12 @@ class SmartChainDelivery(SequentialDelivery):
             self.replica.trace.emit(
                 self.replica.sim.now, "suffix-lost", replica=self.replica.id,
                 blocks=[b.number for b in dropped])
+            obs = self.replica.sim.obs
+            if obs.record_events:
+                obs.events.emit("suffix-lost", self.replica.id,
+                                self.replica.sim.now,
+                                blocks=[b.number for b in dropped],
+                                height=keep)
             self._rebuild_service_state()
         head = self.chain.head()
         return head.body.consensus_id if head is not None else -1

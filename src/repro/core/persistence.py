@@ -76,3 +76,9 @@ class PersistMsg(Message):
     #: answers are never answered again (prevents echo loops).
     reply: bool = False
     size: int = field(default=48 + 32 + Signature.WIRE_SIZE, kw_only=True)
+
+    def event_fields(self) -> dict:
+        """The fields a ``persist-vote`` protocol event carries."""
+        return {"block": self.block_number,
+                "digest": self.header_digest.hex(),
+                "signer": self.replica_id}

@@ -227,15 +227,26 @@ class ReconfigManager:
     # ==================================================================
     def handle_special(self, request: ClientRequest) -> ReconfigOutcome | None:
         kind = request.special
+        outcome: ReconfigOutcome | None = None
         if kind == "join":
-            return self._handle_join(request)
-        if kind == "leave":
-            return self._handle_leave(request)
-        if kind == "remove":
-            return self._handle_remove(request)
-        if kind == "keyreg":
-            return self._handle_keyreg(request)
-        return None
+            outcome = self._handle_join(request)
+        elif kind == "leave":
+            outcome = self._handle_leave(request)
+        elif kind == "remove":
+            outcome = self._handle_remove(request)
+        elif kind == "keyreg":
+            outcome = self._handle_keyreg(request)
+        if outcome is not None:
+            replica = self.replica
+            obs = replica.sim.obs
+            if obs.record_events:
+                obs.events.emit(
+                    "reconfig", replica.id, replica.sim.now, op=kind,
+                    applied=outcome.new_view is not None,
+                    view=(outcome.new_view.view_id
+                          if outcome.new_view is not None
+                          else replica.cv.view_id))
+        return outcome
 
     def _handle_join(self, request: ClientRequest) -> ReconfigOutcome:
         replica = self.replica

@@ -18,12 +18,24 @@ Three concerns live here:
   PERSIST → reply), yielding a per-phase latency breakdown;
 - :mod:`repro.obs.report` — the machine-readable run report combining the
   above with per-resource busy fractions and network statistics.
+
+Four protocol-level concerns ride the same hook (``repro.obs`` v2):
+
+- :mod:`repro.obs.events` — the typed, bounded protocol event stream
+  (decide, view-change, persist-certificate, crash/recovery, ...);
+- :mod:`repro.obs.audit` — the online safety auditor subscribed to that
+  stream (agreement, no-fork, view monotonicity, 0-Persistence, the
+  forgetting invariant);
+- :mod:`repro.obs.traceview` — Chrome trace-event export (Perfetto);
+- :mod:`repro.obs.compare` — bench-report regression diffing
+  (``--check-against``).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.events import EVENT_KINDS, EventLog, ProtocolEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import build_run_report, validate_report
 from repro.obs.spans import CID_PHASES, PHASES, REQUEST_PHASES, PipelineTracer
@@ -38,6 +50,9 @@ __all__ = [
     "PHASES",
     "REQUEST_PHASES",
     "CID_PHASES",
+    "EVENT_KINDS",
+    "EventLog",
+    "ProtocolEvent",
     "build_run_report",
     "validate_report",
 ]
@@ -61,6 +76,13 @@ class Observability:
         anchor the breakdown).
     sample_every:
         Trace one request in this many (deterministic in the request key).
+    record_events:
+        Record the typed protocol event stream (:mod:`repro.obs.events`).
+        Defaults to ``enabled``; protocol layers guard every emission with
+        a single ``if obs.record_events:`` check, so disabled runs pay
+        nothing.
+    event_capacity:
+        Bound on retained protocol events (oldest dropped and counted).
     """
 
     def __init__(
@@ -69,12 +91,20 @@ class Observability:
         trace_pipeline: bool | None = None,
         pipeline_node: int = 0,
         sample_every: int = 1,
+        record_events: bool | None = None,
+        event_capacity: int = 100_000,
     ) -> None:
         self.enabled = enabled
         self.trace_pipeline = enabled if trace_pipeline is None else trace_pipeline
         self.pipeline_node = pipeline_node
         self.metrics = MetricsRegistry()
         self.tracer = PipelineTracer(sample_every=sample_every)
+        #: Guard attribute protocol layers check before emitting an event.
+        self.record_events = enabled if record_events is None else record_events
+        #: The typed protocol event stream (repro.obs.events).
+        self.events = EventLog(capacity=event_capacity)
+        #: The attached SafetyAuditor, if any (set by SafetyAuditor.attach).
+        self.auditor: Any = None
         #: Every Resource constructed on the owning simulator (self-registered).
         self.resources: list[Any] = []
         #: Every Network constructed on the owning simulator (self-registered).

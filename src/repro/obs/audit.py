@@ -1,0 +1,358 @@
+"""Online safety auditor for the protocol event stream.
+
+The paper's core claims are protocol claims: no forks (Observation 3 /
+Section V-D), 0-Persistence after full crashes (Observation 2 / Section
+V-C), correct view change and key forgetting.  The auditor subscribes to
+the :class:`~repro.obs.events.EventLog` and checks every event as it is
+emitted, so a violation is detected *at* the event that exposes it — the
+:class:`Violation` carries that event plus the cross-replica context that
+contradicts it.
+
+Invariants
+----------
+``agreement``
+    Two replicas never decide different batch hashes for the same
+    consensus id (``decide`` events).
+``no-fork``
+    Two replicas never hold different blocks at the same height, and no
+    block ever contradicts a completed persist certificate for its height
+    (``block-append`` / ``persist-certificate`` events).
+``view-monotonicity``
+    Installed view ids strictly increase per replica (``view-change``).
+``persistence``
+    After a *full* crash (every known replica crashed), the recovered
+    group's best local chain still contains every certified block —
+    0-Persistence; a certified block that no recovering replica holds was
+    lost (``crash`` / ``recovering`` events).
+``retired-key``
+    The forgetting invariant: no persist certificate for a block above a
+    reconfiguration point carries a view older than the view in effect at
+    that height — such a certificate could only have been signed with
+    retired (erased) consensus keys (``reconfig`` / ``persist-certificate``
+    events).
+
+``SafetyAuditor(strict=True)`` raises :class:`AuditError` at the violating
+event; the default collects violations so the harness can fail the run at
+the end with the complete list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.events import EventLog, ProtocolEvent
+
+__all__ = ["INVARIANTS", "Violation", "AuditError", "SafetyAuditor",
+           "audit_event_log"]
+
+#: Names of the invariants the auditor enforces.
+INVARIANTS = ("agreement", "no-fork", "view-monotonicity", "persistence",
+              "retired-key")
+
+
+@dataclass
+class Violation:
+    """One invariant breach, with the event that exposed it."""
+
+    invariant: str
+    message: str
+    event: ProtocolEvent
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "event": self.event.to_json(),
+            "context": {k: (v.hex() if isinstance(v, bytes) else v)
+                        for k, v in self.context.items()},
+        }
+
+    def __str__(self) -> str:
+        return (f"[{self.invariant}] {self.message} "
+                f"(at t={self.event.time:.6f} node={self.event.node} "
+                f"event={self.event.kind})")
+
+
+class AuditError(Exception):
+    """Raised when a run violated a safety invariant."""
+
+    def __init__(self, violations: list[Violation]):
+        self.violations = list(violations)
+        lines = "\n  ".join(str(v) for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} safety violation(s):\n  {lines}")
+
+
+class SafetyAuditor:
+    """Checks protocol events against the paper's safety invariants.
+
+    Attach to a run with :meth:`attach` (subscribes to ``obs.events`` and
+    forces event recording on), or feed events directly via
+    :meth:`on_event` / :meth:`ingest_chain` for offline sweeps.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self.events_checked = 0
+        # agreement: cid -> (batch_hash, first deciding node, event)
+        self._decided: dict[int, tuple[str, int, ProtocolEvent]] = {}
+        # no-fork: height -> (digest, first appending node, event)
+        self._blocks: dict[int, tuple[str, int, ProtocolEvent]] = {}
+        # persistence / no-fork: height -> (digest, cert view, event)
+        self._certified: dict[int, tuple[str, int, ProtocolEvent]] = {}
+        # view-monotonicity: node -> last installed view id
+        self._views: dict[int, int] = {}
+        # retired-key: (reconfig block number, view installed there)
+        self._view_from: list[tuple[int, int]] = []
+        # persistence: membership learned from the stream + crash tracking
+        self._known: set[int] = set()
+        self._crashed: set[int] = set()
+        self._epoch_nodes: frozenset[int] | None = None
+        self._epoch_required: dict[int, str] = {}
+        self._epoch_heights: dict[int, int] = {}
+        self._ingest_seq = 1_000_000_000  # synthetic seq for offline feeds
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, obs: Any) -> "SafetyAuditor":
+        """Subscribe to a run's event stream (forces recording on)."""
+        obs.record_events = True
+        obs.events.subscribe(self.on_event)
+        obs.auditor = self
+        return self
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "invariants": list(INVARIANTS),
+            "events_checked": self.events_checked,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def raise_if_violated(self) -> None:
+        if self.violations:
+            raise AuditError(self.violations)
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def on_event(self, event: ProtocolEvent) -> None:
+        self.events_checked += 1
+        if event.kind != "reconfig":
+            # Reconfig events may come from off-cluster submitters (the
+            # View Manager); everything else identifies a replica.
+            self._known.add(event.node)
+        handler = getattr(self, "_on_" + event.kind.replace("-", "_"), None)
+        if handler is not None:
+            handler(event)
+
+    def _flag(self, invariant: str, message: str, event: ProtocolEvent,
+              **context: Any) -> None:
+        violation = Violation(invariant=invariant, message=message,
+                              event=event, context=context)
+        self.violations.append(violation)
+        if self.strict:
+            raise AuditError([violation])
+
+    # ------------------------------------------------------------------
+    # agreement
+    # ------------------------------------------------------------------
+    def _on_decide(self, event: ProtocolEvent) -> None:
+        cid = event.fields.get("cid")
+        batch_hash = event.fields.get("batch_hash")
+        if cid is None or batch_hash is None:
+            return
+        seen = self._decided.get(cid)
+        if seen is None:
+            self._decided[cid] = (batch_hash, event.node, event)
+        elif seen[0] != batch_hash:
+            self._flag(
+                "agreement",
+                f"cid {cid}: node {event.node} decided {batch_hash[:16]}… "
+                f"but node {seen[1]} decided {seen[0][:16]}…",
+                event, cid=cid, first_node=seen[1], first_hash=seen[0],
+                conflicting_hash=batch_hash)
+
+    # ------------------------------------------------------------------
+    # no-fork
+    # ------------------------------------------------------------------
+    def _on_block_append(self, event: ProtocolEvent) -> None:
+        number = event.fields.get("block")
+        digest = event.fields.get("digest")
+        if number is None or digest is None:
+            return
+        seen = self._blocks.get(number)
+        if seen is None:
+            self._blocks[number] = (digest, event.node, event)
+        elif seen[0] != digest:
+            self._flag(
+                "no-fork",
+                f"height {number}: node {event.node} appended "
+                f"{digest[:16]}… but node {seen[1]} holds {seen[0][:16]}…",
+                event, block=number, first_node=seen[1],
+                first_digest=seen[0], conflicting_digest=digest)
+        certified = self._certified.get(number)
+        if certified is not None and certified[0] != digest:
+            self._flag(
+                "no-fork",
+                f"height {number}: node {event.node} appended a block "
+                f"contradicting its persist certificate",
+                event, block=number, certified_digest=certified[0],
+                conflicting_digest=digest)
+
+    # ------------------------------------------------------------------
+    # view-monotonicity
+    # ------------------------------------------------------------------
+    def _on_view_change(self, event: ProtocolEvent) -> None:
+        view = event.fields.get("view")
+        if view is None:
+            return
+        last = self._views.get(event.node)
+        if last is not None and view <= last:
+            self._flag(
+                "view-monotonicity",
+                f"node {event.node} installed view {view} after view {last}",
+                event, previous_view=last, installed_view=view)
+        else:
+            self._views[event.node] = view
+
+    # ------------------------------------------------------------------
+    # retired-key (forgetting invariant) + certificate bookkeeping
+    # ------------------------------------------------------------------
+    def _on_reconfig(self, event: ProtocolEvent) -> None:
+        if event.fields.get("op") != "install":
+            return
+        block = event.fields.get("block")
+        view = event.fields.get("view")
+        if block is not None and view is not None:
+            self._view_from.append((block, view))
+
+    def view_at_height(self, number: int) -> int:
+        """The view in whose keys a certificate at ``number`` must be signed
+        (the view installed by the newest reconfiguration block *below*)."""
+        view = 0
+        for reconfig_block, installed in self._view_from:
+            if number > reconfig_block:
+                view = max(view, installed)
+        return view
+
+    def _on_persist_certificate(self, event: ProtocolEvent) -> None:
+        number = event.fields.get("block")
+        digest = event.fields.get("digest")
+        view = event.fields.get("view")
+        if number is None or digest is None:
+            return
+        expected_view = self.view_at_height(number)
+        if view is not None and view < expected_view:
+            self._flag(
+                "retired-key",
+                f"certificate for block {number} carries view {view}, but "
+                f"view {expected_view} was in effect at that height — its "
+                f"signing keys were retired (erased) by the forgetting "
+                f"protocol",
+                event, block=number, certificate_view=view,
+                expected_view=expected_view)
+        seen = self._certified.get(number)
+        if seen is None:
+            self._certified[number] = (digest, view if view is not None else 0,
+                                       event)
+        elif seen[0] != digest:
+            self._flag(
+                "no-fork",
+                f"height {number}: two persist certificates over different "
+                f"digests",
+                event, block=number, first_digest=seen[0],
+                conflicting_digest=digest)
+        held = self._blocks.get(number)
+        if held is not None and held[0] != digest:
+            self._flag(
+                "no-fork",
+                f"height {number}: persist certificate contradicts the "
+                f"block held by node {held[1]}",
+                event, block=number, held_digest=held[0],
+                certified_digest=digest)
+
+    # ------------------------------------------------------------------
+    # persistence (0-Persistence after a full crash)
+    # ------------------------------------------------------------------
+    def _on_crash(self, event: ProtocolEvent) -> None:
+        self._crashed.add(event.node)
+        if self._known and self._crashed >= self._known:
+            # Full crash: every replica the stream knows about is down.
+            # Snapshot what 0-Persistence owes the group on the way back up.
+            self._epoch_nodes = frozenset(self._crashed)
+            self._epoch_required = {number: digest for number, (digest, _v, _e)
+                                    in self._certified.items()}
+            self._epoch_heights = {}
+
+    def _on_recovering(self, event: ProtocolEvent) -> None:
+        self._crashed.discard(event.node)
+        if self._epoch_nodes is None or event.node not in self._epoch_nodes:
+            return
+        height = event.fields.get("height")
+        if height is None:
+            return
+        self._epoch_heights[event.node] = height
+        if set(self._epoch_heights) < self._epoch_nodes:
+            return
+        # Every replica of the full-crash epoch reloaded its stable state.
+        group_max = max(self._epoch_heights.values())
+        lost = sorted(number for number in self._epoch_required
+                      if number > group_max)
+        if lost:
+            self._flag(
+                "persistence",
+                f"full-crash recovery lost certified block(s) {lost}: best "
+                f"recovered height is {group_max}",
+                event, lost_blocks=lost, group_max_height=group_max,
+                certified_max=max(self._epoch_required),
+                recovered_heights=dict(sorted(self._epoch_heights.items())))
+        self._epoch_nodes = None
+        self._epoch_required = {}
+        self._epoch_heights = {}
+
+    def _on_recover(self, event: ProtocolEvent) -> None:
+        self._crashed.discard(event.node)
+
+    # ------------------------------------------------------------------
+    # Offline sweep: feed a chain through the same invariant path
+    # ------------------------------------------------------------------
+    def ingest_chain(self, node: int, blocks: Iterable[Any],
+                     now: float = 0.0) -> None:
+        """Audit a replica's chain after the fact: synthesize the
+        ``block-append`` (and ``persist-certificate``) events its blocks
+        imply and run them through the online checks."""
+        for block in blocks:
+            self.on_event(self._synthetic(
+                "block-append", node, now, block=block.number,
+                digest=block.digest().hex(), view=block.header.view_id))
+            certificate = getattr(block, "certificate", None)
+            if certificate is not None:
+                self.on_event(self._synthetic(
+                    "persist-certificate", node, now,
+                    block=certificate.block_number,
+                    digest=certificate.header_digest.hex(),
+                    view=certificate.view_id,
+                    signers=sorted(certificate.signatures)))
+
+    def _synthetic(self, kind: str, node: int, now: float,
+                   **fields: Any) -> ProtocolEvent:
+        event = ProtocolEvent(time=now, seq=self._ingest_seq, kind=kind,
+                              node=node, fields=fields)
+        self._ingest_seq += 1
+        return event
+
+
+def audit_event_log(log: EventLog, strict: bool = False) -> SafetyAuditor:
+    """Run the auditor over an already-recorded event log."""
+    auditor = SafetyAuditor(strict=strict)
+    for event in sorted(log, key=lambda e: e.sort_key):
+        auditor.on_event(event)
+    return auditor

@@ -94,13 +94,14 @@ class Histogram:
     def summary(self) -> dict[str, float]:
         if not self.samples:
             return {"count": 0, "mean": 0.0, "min": 0.0, "p50": 0.0,
-                    "p95": 0.0, "max": 0.0}
+                    "p95": 0.0, "p99": 0.0, "max": 0.0}
         return {
             "count": len(self.samples),
             "mean": self.mean(),
             "min": min(self.samples),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "max": max(self.samples),
         }
 

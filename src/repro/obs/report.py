@@ -29,7 +29,7 @@ RUN_REPORT_SCHEMA = "repro.obs/run-report/v1"
 BENCH_REPORT_SCHEMA = "repro.obs/bench-report/v1"
 
 #: Statistics every per-phase breakdown entry must carry.
-_PHASE_STAT_KEYS = ("count", "mean_s", "p50_s", "p95_s", "max_s")
+_PHASE_STAT_KEYS = ("count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s")
 
 #: Fields every per-resource entry must carry.
 _RESOURCE_KEYS = ("name", "servers", "busy_fraction", "jobs_served",
@@ -64,13 +64,14 @@ def build_run_report(result: Any, obs: Any, horizon: float) -> dict[str, Any]:
                "busy_fraction_max": max(fractions)}
         for role, fractions in sorted(roles.items())
     }
-    return {
+    report = {
         "schema": RUN_REPORT_SCHEMA,
         "label": result.label,
         "summary": {
             "throughput_tx_s": result.throughput,
             "latency_mean_s": result.latency_mean,
             "latency_p95_s": result.latency_p95,
+            "latency_p99_s": getattr(result, "latency_p99", 0.0),
             "completed": result.completed,
             "duration_s": result.duration,
             "warmup_s": result.warmup,
@@ -87,6 +88,18 @@ def build_run_report(result: Any, obs: Any, horizon: float) -> dict[str, Any]:
         "resource_roles": role_summary,
         "network": obs.network_stats(),
     }
+    # Additive sections (repro.obs v2): present only when recorded, so
+    # older reports still validate.
+    if getattr(obs, "record_events", False):
+        report["events"] = {
+            "count": len(obs.events),
+            "dropped": obs.events.dropped,
+            "by_kind": obs.events.counts(),
+        }
+    auditor = getattr(obs, "auditor", None)
+    if auditor is not None:
+        report["audit"] = auditor.summary()
+    return report
 
 
 def build_bench_report(experiment: str, runs: list[dict[str, Any]],
@@ -119,6 +132,20 @@ def validate_report(report: Any) -> dict[str, Any]:
                 "completed", "duration_s", "warmup_s", "interval_rates"):
         _require(key in summary, f"summary missing {key!r}")
     _require(summary["throughput_tx_s"] >= 0, "negative throughput")
+    if "events" in report:  # additive v2 section
+        events = report["events"]
+        _require(isinstance(events, dict), "events is not a mapping")
+        for key in ("count", "dropped", "by_kind"):
+            _require(key in events, f"events missing {key!r}")
+        _require(events["count"] >= 0 and events["dropped"] >= 0,
+                 "negative event counts")
+    if "audit" in report:  # additive v2 section
+        audit = report["audit"]
+        _require(isinstance(audit, dict), "audit is not a mapping")
+        for key in ("invariants", "events_checked", "violations"):
+            _require(key in audit, f"audit missing {key!r}")
+        _require(isinstance(audit["violations"], list),
+                 "audit violations is not a list")
     _require(isinstance(report["phases"], dict), "phases is not a mapping")
     for phase, stats in report["phases"].items():
         for key in _PHASE_STAT_KEYS:

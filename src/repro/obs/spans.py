@@ -112,6 +112,10 @@ class PipelineTracer:
         """Spans of every traced request."""
         return {key: self.span(key) for key in self._request_marks}
 
+    def cid_marks(self) -> dict[int, dict[str, float]]:
+        """Consensus-level phase marks per cid (copies; for exporters)."""
+        return {cid: dict(marks) for cid, marks in self._cid_marks.items()}
+
     def complete_spans(
         self, required: tuple[str, ...] = PHASES
     ) -> dict[Hashable, list[tuple[str, float]]]:
@@ -150,6 +154,8 @@ class PipelineTracer:
                 "p50_s": ordered[len(ordered) // 2],
                 "p95_s": ordered[min(len(ordered) - 1,
                                      int(0.95 * len(ordered)))],
+                "p99_s": ordered[min(len(ordered) - 1,
+                                     int(0.99 * len(ordered)))],
                 "max_s": ordered[-1],
             }
         return out

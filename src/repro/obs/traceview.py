@@ -1,0 +1,153 @@
+"""Chrome trace-event export of spans and protocol events.
+
+:func:`build_trace` renders one observed run as Chrome trace-event JSON
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+- one *process* per replica carrying its protocol events as instant
+  events ("i") on an ``events`` thread;
+- the designated pipeline replica additionally carries the consensus-level
+  pipeline as duration events ("X"): for each traced consensus id, one
+  slice per phase, spanning from the previous phase's mark;
+- one *process* per simulated resource (SM threads, verify pools, NICs,
+  disks) carrying its busy fraction as a counter track ("C").
+
+Timestamps are microseconds of simulated time.  The event list is sorted
+on an explicit ``(ts, pid, tid, name, seq)`` key, so the export is
+byte-identical across runs with the same seed (``json.dumps`` with
+``sort_keys=True``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.spans import PHASES
+
+__all__ = ["TRACE_PHASES", "build_trace", "validate_trace", "write_trace"]
+
+#: Chrome trace-event phase codes this exporter emits (M = metadata,
+#: X = complete/duration, i = instant, C = counter).
+TRACE_PHASES = ("M", "X", "i", "C")
+
+_MICRO = 1_000_000
+#: pid offset for resource counter tracks (replica pids are the node ids).
+_RESOURCE_PID = 10_000
+
+_PHASE_ORDER = {phase: index for index, phase in enumerate(PHASES)}
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * _MICRO, 3)
+
+
+def build_trace(obs: Any, horizon: float = 0.0,
+                label: str = "run") -> dict[str, Any]:
+    """Render an ``Observability`` object's spans + events as a trace dict."""
+    events: list[dict[str, Any]] = []
+    pids: dict[int, str] = {}
+
+    # Protocol events: one instant event per record, one process per node.
+    for record in sorted(obs.events, key=lambda e: e.sort_key):
+        pids.setdefault(record.node, f"node-{record.node}")
+        events.append({
+            "name": record.kind,
+            "ph": "i",
+            "s": "t",
+            "ts": _us(record.time),
+            "pid": record.node,
+            "tid": 0,
+            "args": record.to_json(),
+        })
+
+    # Pipeline slices on the designated replica: consecutive cid marks
+    # become duration events attributed to the phase that finished the wait.
+    pipeline_pid = obs.pipeline_node
+    cid_marks = obs.tracer.cid_marks()
+    for cid in sorted(cid_marks):
+        marks = sorted(cid_marks[cid].items(),
+                       key=lambda item: (item[1], _PHASE_ORDER[item[0]]))
+        pids.setdefault(pipeline_pid, f"node-{pipeline_pid}")
+        for (_, prev_t), (phase, t) in zip(marks, marks[1:]):
+            events.append({
+                "name": phase,
+                "ph": "X",
+                "ts": _us(prev_t),
+                "dur": max(0.0, _us(t) - _us(prev_t)),
+                "pid": pipeline_pid,
+                "tid": 1,
+                "args": {"cid": cid},
+            })
+
+    # Resource busy fractions as counter tracks (constant over the run:
+    # busy fraction is an aggregate, sampled at both ends for visibility).
+    resource_names: dict[int, str] = {}
+    for index, resource in enumerate(obs.resources):
+        pid = _RESOURCE_PID + index
+        resource_names[pid] = resource.name
+        stats = resource.stats(horizon or 1.0)
+        for ts in (0.0, _us(horizon) if horizon else 0.0):
+            events.append({
+                "name": "busy_pct",
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+                "args": {"busy": round(stats["busy_fraction"] * 100.0, 3)},
+            })
+
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"],
+                               e.get("args", {}).get("seq", -1)))
+
+    metadata: list[dict[str, Any]] = []
+    for pid, name in sorted(pids.items()):
+        metadata.append({"name": "process_name", "ph": "M", "ts": 0,
+                         "pid": pid, "tid": 0, "args": {"name": name}})
+        metadata.append({"name": "thread_name", "ph": "M", "ts": 0,
+                         "pid": pid, "tid": 0, "args": {"name": "events"}})
+        if pid == pipeline_pid:
+            metadata.append({"name": "thread_name", "ph": "M", "ts": 0,
+                             "pid": pid, "tid": 1,
+                             "args": {"name": "pipeline"}})
+    for pid, name in sorted(resource_names.items()):
+        metadata.append({"name": "process_name", "ph": "M", "ts": 0,
+                         "pid": pid, "tid": 0, "args": {"name": name}})
+
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "exporter": "repro.obs.traceview"},
+    }
+
+
+def validate_trace(trace: Any) -> dict[str, Any]:
+    """Structural check of a Chrome trace-event dict; returns it on success
+    (raises :class:`ValueError` otherwise)."""
+    if not isinstance(trace, dict):
+        raise ValueError("trace is not a mapping")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not a mapping")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] missing {key!r}")
+        if event["ph"] not in TRACE_PHASES:
+            raise ValueError(
+                f"traceEvents[{index}] has unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"traceEvents[{index}] has bad ts {event['ts']!r}")
+        if event["ph"] == "X" and event.get("dur", -1) < 0:
+            raise ValueError(f"traceEvents[{index}] X event without dur")
+    return trace
+
+
+def write_trace(trace: dict[str, Any], path: str) -> None:
+    """Validate and write a trace file Perfetto can open directly."""
+    validate_trace(trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, sort_keys=True)
+        fh.write("\n")

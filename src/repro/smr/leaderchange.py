@@ -124,6 +124,11 @@ class Synchronizer:
 
         replica.trace.emit(replica.sim.now, "regency-installed",
                            replica=replica.id, regency=regency)
+        obs = replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("leader-change", replica.id, replica.sim.now,
+                            regency=regency,
+                            leader=replica.cv.leader(regency))
         stopdata = StopDataMsg(
             regency=regency,
             last_decided_cid=replica.last_decided,

@@ -223,9 +223,17 @@ class ModSmartReplica:
         """Forgetting protocol: generate the new view's key, erase older ones."""
         self.ensure_consensus_key(new_view.view_id)
         if self.key_policy == "per_view":
+            erased = []
             for view_id, key in self.consensus_keys.items():
                 if view_id < new_view.view_id and not key.is_erased:
                     key.erase()
+                    erased.append(view_id)
+            if erased:
+                obs = self.sim.obs
+                if obs.record_events:
+                    obs.events.emit("key-rotation", self.id, self.sim.now,
+                                    view=new_view.view_id,
+                                    erased_views=sorted(erased))
 
     # ==================================================================
     # Message plumbing
@@ -429,9 +437,20 @@ class ModSmartReplica:
     def _instance(self, cid: int) -> ConsensusInstance:
         instance = self.instances.get(cid)
         if instance is None:
-            instance = ConsensusInstance(cid, self.cv.quorum)
+            observer = (self._consensus_event
+                        if self.sim.obs.record_events else None)
+            instance = ConsensusInstance(cid, self.cv.quorum,
+                                         observer=observer)
             self.instances[cid] = instance
         return instance
+
+    def _consensus_event(self, cid: int, phase: str,
+                         batch_hash: bytes | None) -> None:
+        obs = self.sim.obs
+        if obs.record_events:
+            obs.events.emit("consensus-phase", self.id, self.sim.now,
+                            cid=cid, phase=phase,
+                            batch_hash=(batch_hash or b"").hex())
 
     def _on_propose(self, src: int, msg: ProposeMsg) -> None:
         if msg.cid <= self.last_decided:
@@ -562,6 +581,11 @@ class ModSmartReplica:
         obs = self.sim.obs
         if obs.trace_pipeline:
             obs.trace_cid(self.id, decision.cid, "accept", self.sim.now)
+        if obs.record_events:
+            obs.events.emit("decide", self.id, self.sim.now,
+                            cid=decision.cid, batch=len(decision.batch),
+                            batch_hash=decision.batch_hash.hex(),
+                            regency=decision.regency)
         self.synchronizer.on_progress()
         if (decision.batch and decision.batch[0].special == "vmview"
                 and self.config.view_manager_public is not None):
@@ -691,6 +715,11 @@ class ModSmartReplica:
         self.inflight.clear()
         self.trace.emit(self.sim.now, "view-installed", replica=self.id,
                         view=new_view.view_id, members=new_view.members)
+        obs = self.sim.obs
+        if obs.record_events:
+            obs.events.emit("view-change", self.id, self.sim.now,
+                            view=new_view.view_id,
+                            members=list(new_view.members))
         if not new_view.contains(self.id):
             self.active = False
         self.maybe_propose()
@@ -725,6 +754,10 @@ class ModSmartReplica:
         self.store.crash()
         self.delivery.on_crash()
         self.trace.emit(self.sim.now, "crash", replica=self.id)
+        obs = self.sim.obs
+        if obs.record_events:
+            obs.events.emit("crash", self.id, self.sim.now,
+                            incarnation=self._incarnation)
 
     def recover(self, on_ready: Callable[[], None] | None = None) -> None:
         """Restart after a crash: reload local stable state, then run state
@@ -740,12 +773,23 @@ class ModSmartReplica:
         self.last_executed = recovered
         self.trace.emit(self.sim.now, "recovering", replica=self.id,
                         local_cid=recovered)
+        obs = self.sim.obs
+        if obs.record_events:
+            obs.events.emit(
+                "recovering", self.id, self.sim.now, local_cid=recovered,
+                height=getattr(getattr(self.delivery, "chain", None),
+                               "height", -1))
 
         def done(target_cid: int) -> None:
             self.active = True
             self.regency = 0
             self.trace.emit(self.sim.now, "recovered", replica=self.id,
                             cid=target_cid)
+            if obs.record_events:
+                obs.events.emit(
+                    "recover", self.id, self.sim.now, cid=target_cid,
+                    height=getattr(getattr(self.delivery, "chain", None),
+                                   "height", -1))
             if on_ready is not None:
                 on_ready()
 

@@ -132,6 +132,10 @@ class StateTransferEngine:
         self._hashes.clear()
         self._probing = True
         self._started_at = replica.sim.now
+        obs = replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("state-transfer", replica.id, replica.sim.now,
+                            phase="start", from_cid=replica.last_decided)
         peers = [m for m in replica.cv.members if m != replica.id]
         if not peers:
             self._finish(replica.last_decided)
@@ -252,6 +256,11 @@ class StateTransferEngine:
         self.replica.trace.emit(self.replica.sim.now, "state-transfer-done",
                                 replica=self.replica.id, cid=cid,
                                 seconds=self.last_transfer_seconds)
+        obs = self.replica.sim.obs
+        if obs.record_events:
+            obs.events.emit("state-transfer", self.replica.id,
+                            self.replica.sim.now, phase="done", cid=cid,
+                            seconds=self.last_transfer_seconds)
         if done is not None:
             done(cid)
         self.replica.kick_pending_proposals()

@@ -84,6 +84,11 @@ class ViewManager:
                     on_done: Callable[[View], None] | None = None) -> View:
         """Sign and submit a view update through the ordering protocol."""
         new_view = View(current_view.view_id + 1, tuple(sorted(new_members)))
+        obs = self.sim.obs
+        if obs.record_events:
+            obs.events.emit("reconfig", self.id, self.sim.now,
+                            op="vm-request", view=new_view.view_id,
+                            members=list(new_view.members))
         signature = self.key.sign(_vm_payload(new_view.view_id,
                                               new_view.members))
         request = ClientRequest(

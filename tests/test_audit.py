@@ -1,0 +1,214 @@
+"""The online safety auditor (repro.obs v2) catches seeded violations.
+
+Each test seeds one concrete attack or failure against a real run and
+asserts that the named invariant fires with the event context that exposes
+it: a forked block (``no-fork``), a lost certified suffix after a full
+crash (``persistence``), and a certificate carrying a retired view's keys
+(``retired-key``).  A clean Table-row run must produce zero violations.
+"""
+
+import pytest
+
+from repro.bench.harness import Scenario, run
+from repro.clients.client import Client
+from repro.crypto.hashing import hash_obj
+from repro.ledger import Block, BlockBody, BlockHeader, TxRecord
+from repro.obs.audit import (
+    INVARIANTS,
+    AuditError,
+    SafetyAuditor,
+    audit_event_log,
+)
+from repro.obs.events import ProtocolEvent
+
+from tests.helpers import attach_station, make_consortium, mint_ops_simple
+
+
+def _audited_consortium(seed: int):
+    """A consortium with event recording + a live auditor attached."""
+    consortium = make_consortium(seed=seed, checkpoint_period=100)
+    auditor = SafetyAuditor().attach(consortium.sim.obs)
+    return consortium, auditor
+
+
+def _run_traffic(consortium, txs: int = 12, until: float = 6.0):
+    station = attach_station(consortium)
+    Client(station, mint_ops_simple(txs))
+    station.start_all()
+    consortium.sim.run(until=until)
+    return station
+
+
+class TestCleanRun:
+    def test_clean_table_row_has_zero_violations(self):
+        result = run(Scenario(system="smartchain", clients=300, duration=2.0,
+                              seed=77, observe=True, audit=True))
+        audit = result.report["audit"]
+        assert audit["violations"] == []
+        assert audit["invariants"] == list(INVARIANTS)
+        assert audit["events_checked"] == len(result.handle.obs.events)
+        assert audit["events_checked"] > 0
+
+    def test_offline_sweep_of_recorded_log_is_clean(self):
+        result = run(Scenario(system="smartchain", clients=300, duration=2.0,
+                              seed=77, observe=True, audit=True))
+        auditor = audit_event_log(result.handle.obs.events)
+        assert auditor.ok
+        auditor.raise_if_violated()  # no-op when clean
+
+    def test_audit_error_carries_every_violation(self):
+        auditor = SafetyAuditor()
+        auditor._flag("agreement", "seeded", ProtocolEvent(
+            time=1.0, seq=0, kind="decide", node=0, fields={}))
+        with pytest.raises(AuditError) as excinfo:
+            auditor.raise_if_violated()
+        assert "1 safety violation" in str(excinfo.value)
+        assert excinfo.value.violations[0].invariant == "agreement"
+
+
+class TestForkDetection:
+    def test_tampered_block_fires_no_fork(self):
+        consortium, auditor = _audited_consortium(seed=7)
+        _run_traffic(consortium)
+        chain = consortium.node(0).delivery.chain
+        assert chain.height >= 2
+        assert auditor.ok, [str(v) for v in auditor.violations]
+
+        # A Byzantine node presents a different block at an agreed height.
+        victim = chain.get(1)
+        evil_tx = TxRecord(6666, 1, ("mint", "attacker", ((10**9, 1),)), 180)
+        body = BlockBody(
+            consensus_id=victim.body.consensus_id,
+            transactions=[evil_tx],
+            results=[(6666, 1, "('minted', ('loot',))", b"ok")],
+            batch_hash=hash_obj(("forged-batch",)),
+        )
+        header = BlockHeader(
+            number=victim.number,
+            last_reconfig=victim.header.last_reconfig,
+            last_checkpoint=victim.header.last_checkpoint,
+            view_id=victim.header.view_id,
+            hash_transactions=body.hash_transactions(),
+            hash_results=body.hash_results(),
+            hash_last_block=victim.header.hash_last_block,
+        )
+        forged = Block(header, body)
+        assert forged.digest() != victim.digest()
+        auditor.ingest_chain(3, [forged], now=consortium.sim.now)
+
+        forks = [v for v in auditor.violations if v.invariant == "no-fork"]
+        assert forks
+        violation = forks[0]
+        assert violation.event.kind == "block-append"
+        assert violation.event.node == 3
+        assert violation.context["block"] == victim.number
+        assert (violation.context["conflicting_digest"]
+                == forged.digest().hex())
+        assert (violation.context["first_digest"] == victim.digest().hex())
+
+
+class TestPersistenceAudit:
+    def test_lost_certified_suffix_fires_persistence(self):
+        consortium, auditor = _audited_consortium(seed=11)
+        _run_traffic(consortium)
+        sim = consortium.sim
+        certified = [b.number for b in consortium.node(0).delivery.chain
+                     if b.certificate is not None]
+        assert certified, "strong/sync run should certify blocks"
+        assert auditor.ok, [str(v) for v in auditor.violations]
+
+        # Every owner truncates its own stable chain log (Byzantine storage
+        # loss), then the whole group crashes and comes back: certified
+        # blocks are gone from every disk — exactly what 0-Persistence
+        # forbids.
+        for node in consortium.nodes.values():
+            node.replica.store.corrupt_suffix("chain", keep=1)
+        for node in consortium.nodes.values():
+            node.crash()
+        sim.run(until=sim.now + 0.5)
+        for node in consortium.nodes.values():
+            node.recover()
+        sim.run(until=sim.now + 5.0)
+
+        lost = [v for v in auditor.violations if v.invariant == "persistence"]
+        assert lost
+        violation = lost[0]
+        assert violation.event.kind == "recovering"
+        assert violation.context["lost_blocks"]
+        assert violation.context["group_max_height"] < max(certified)
+        assert violation.context["certified_max"] == max(certified)
+        assert set(violation.context["recovered_heights"]) == set(
+            consortium.nodes)
+
+    def test_clean_full_crash_recovery_has_no_violation(self):
+        consortium, auditor = _audited_consortium(seed=11)
+        _run_traffic(consortium)
+        sim = consortium.sim
+        # Same full crash, but disks are intact: the group recovers every
+        # certified block and the auditor stays quiet.
+        for node in consortium.nodes.values():
+            node.crash()
+        sim.run(until=sim.now + 0.5)
+        for node in consortium.nodes.values():
+            node.recover()
+        sim.run(until=sim.now + 5.0)
+        lost = [v for v in auditor.violations if v.invariant == "persistence"]
+        assert lost == [], [str(v) for v in lost]
+
+
+class TestRetiredKeyAudit:
+    def test_stale_view_certificate_fires_retired_key(self):
+        consortium, auditor = _audited_consortium(seed=51)
+        station = attach_station(consortium)
+        Client(station, mint_ops_simple(12))
+        station.start_all()
+        sim = consortium.sim
+
+        def exclude():
+            for nid in (0, 1, 2):
+                consortium.node(nid).vote_exclude(3)
+
+        sim.schedule(2.0, exclude)
+        Client(station, mint_ops_simple(10))
+        sim.run(until=12.0)
+        assert consortium.node(0).view.view_id == 1
+        assert auditor.ok, [str(v) for v in auditor.violations]
+
+        reconfig_block = consortium.node(0).delivery.last_reconfig
+        assert reconfig_block >= 1
+        target = reconfig_block + 1
+        assert auditor.view_at_height(target) == 1
+
+        # An adversary who compromised the excluded member presents a
+        # certificate for a post-reconfiguration block carrying view 0 —
+        # only the erased view-0 consensus keys could have signed it.
+        auditor.on_event(ProtocolEvent(
+            time=sim.now, seq=10**9, kind="persist-certificate", node=3,
+            fields={"block": target,
+                    "digest": hash_obj(("forged-extension", target)).hex(),
+                    "view": 0, "signers": [1, 2, 3]}))
+
+        stale = [v for v in auditor.violations
+                 if v.invariant == "retired-key"]
+        assert stale
+        violation = stale[0]
+        assert violation.event.kind == "persist-certificate"
+        assert violation.context["block"] == target
+        assert violation.context["certificate_view"] == 0
+        assert violation.context["expected_view"] == 1
+
+    def test_view_monotonicity_fires_on_regression(self):
+        auditor = SafetyAuditor()
+        for view in (1, 2):
+            auditor.on_event(ProtocolEvent(
+                time=float(view), seq=view, kind="view-change", node=0,
+                fields={"view": view, "members": [0, 1, 2, 3]}))
+        assert auditor.ok
+        auditor.on_event(ProtocolEvent(
+            time=3.0, seq=3, kind="view-change", node=0,
+            fields={"view": 1, "members": [0, 1, 2, 3]}))
+        backsteps = [v for v in auditor.violations
+                     if v.invariant == "view-monotonicity"]
+        assert backsteps
+        assert backsteps[0].context == {"previous_view": 2,
+                                        "installed_view": 1}

@@ -1,0 +1,204 @@
+"""repro.obs v2 tooling: event log, trace export, report comparison, CLI.
+
+Covers the deterministic-export guarantee (same seed → byte-identical
+JSONL and trace JSON), the Chrome trace-event schema, the p99 quantiles,
+the baseline comparison with tolerance bands, and the new bench CLI flags
+(``--list``, ``--trace``, ``--events``, ``--check-against``, ``--audit``).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.harness import Scenario, run
+from repro.obs.compare import ComparisonResult, compare_reports
+from repro.obs.events import EVENT_KINDS, EventLog
+from repro.obs.metrics import Histogram
+from repro.obs.traceview import TRACE_PHASES, build_trace, validate_trace
+from repro.obs.report import validate_bench_report
+
+
+def _observed(seed: int = 77):
+    return run(Scenario(system="smartchain", clients=300, duration=2.0,
+                        seed=seed, observe=True))
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    return _observed()
+
+
+class TestEventLog:
+    def test_unknown_kind_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.emit("made-up-kind", 0, 0.0)
+
+    def test_capacity_bound_counts_drops(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("decide", 0, float(index), cid=index)
+        assert len(log) == 3
+        assert log.dropped == 2
+
+    def test_run_records_only_known_kinds(self, observed_run):
+        kinds = set(observed_run.handle.obs.events.counts())
+        assert kinds
+        assert kinds <= EVENT_KINDS
+
+    def test_jsonl_lines_parse_and_are_ordered(self, observed_run):
+        lines = observed_run.handle.obs.events.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == len(observed_run.handle.obs.events)
+        keys = [(r["time"], r["seq"]) for r in records]
+        assert keys == sorted(keys)
+
+    def test_disabled_run_records_nothing(self):
+        result = run(Scenario(system="smartchain", clients=300, duration=2.0,
+                              seed=77))
+        assert len(result.handle.obs.events) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_exports_are_byte_identical(self, observed_run):
+        again = _observed()
+        first, second = observed_run.handle.obs, again.handle.obs
+        assert first.events.to_jsonl() == second.events.to_jsonl()
+        trace_a = json.dumps(build_trace(first, horizon=3.0), sort_keys=True)
+        trace_b = json.dumps(build_trace(second, horizon=3.0), sort_keys=True)
+        assert trace_a == trace_b
+
+    def test_different_seed_differs(self, observed_run):
+        other = _observed(seed=78)
+        assert (observed_run.handle.obs.events.to_jsonl()
+                != other.handle.obs.events.to_jsonl())
+
+
+class TestTraceExport:
+    def test_trace_validates_and_covers_nodes(self, observed_run):
+        obs = observed_run.handle.obs
+        trace = validate_trace(build_trace(obs, horizon=3.0))
+        events = trace["traceEvents"]
+        assert {e["ph"] for e in events} <= set(TRACE_PHASES)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == len(obs.events)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices and all(e["dur"] >= 0 for e in slices)
+        # One named process track per replica.
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"node-0", "node-1", "node-2", "node-3"} <= names
+
+    def test_trace_round_trips_json(self, observed_run):
+        trace = build_trace(observed_run.handle.obs, horizon=3.0)
+        validate_trace(json.loads(json.dumps(trace)))
+
+    def test_validator_rejects_malformed_trace(self, observed_run):
+        trace = json.loads(json.dumps(
+            build_trace(observed_run.handle.obs, horizon=3.0)))
+        trace["traceEvents"][0]["ph"] = "Z"
+        with pytest.raises(ValueError):
+            validate_trace(trace)
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": []})
+
+
+class TestQuantiles:
+    def test_histogram_reports_p99(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p99"] >= 99.0
+
+    def test_report_carries_p99_latency_and_phases(self, observed_run):
+        summary = observed_run.report["summary"]
+        assert summary["latency_p99_s"] >= summary["latency_p95_s"]
+        for stats in observed_run.report["phases"].values():
+            assert stats["p99_s"] >= stats["p95_s"]
+
+
+class TestCompareReports:
+    @pytest.fixture()
+    def bench_report(self, observed_run):
+        return {"schema": "repro.obs/bench-report/v1", "experiment": "x",
+                "options": {"clients": 300, "seed": 77},
+                "runs": [observed_run.report]}
+
+    def test_identical_reports_match(self, bench_report):
+        result = compare_reports(bench_report, bench_report)
+        assert isinstance(result, ComparisonResult)
+        assert result.ok and result.matched_runs == 1
+        assert "OK" in result.format()
+
+    def test_throughput_drift_beyond_tolerance_flagged(self, bench_report):
+        tampered = copy.deepcopy(bench_report)
+        tampered["runs"][0]["summary"]["throughput_tx_s"] *= 2.0
+        result = compare_reports(bench_report, tampered)
+        assert not result.ok
+        assert any(d.metric == "throughput_tx_s" for d in result.deviations)
+
+    def test_drift_within_tolerance_passes(self, bench_report):
+        tampered = copy.deepcopy(bench_report)
+        tampered["runs"][0]["summary"]["throughput_tx_s"] *= 1.05
+        assert compare_reports(bench_report, tampered).ok
+
+    def test_missing_run_and_option_mismatch_flagged(self, bench_report):
+        current = copy.deepcopy(bench_report)
+        current["runs"] = []
+        current["options"]["seed"] = 99
+        result = compare_reports(bench_report, current)
+        assert not result.ok
+        metrics = {d.metric for d in result.deviations}
+        assert "presence" in metrics
+        assert any(m.startswith("options.") for m in metrics)
+
+
+class TestCLI:
+    def test_list_exits_cleanly(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "calibration", "smartchain"):
+            assert name in out
+        assert "observe" in out  # Scenario defaults are printed
+
+    def test_smoke_with_exports_and_audit(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        code = main(["--smoke", "--audit", "--report", str(report),
+                     "--trace", str(trace), "--events", str(events)])
+        assert code == 0
+        capsys.readouterr()
+        bench = validate_bench_report(
+            json.loads(report.read_text(encoding="utf-8")))
+        assert bench["runs"][0]["audit"]["violations"] == []
+        validate_trace(json.loads(trace.read_text(encoding="utf-8")))
+        lines = events.read_text(encoding="utf-8").splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        # The exported stream matches the report's event count.
+        assert len(lines) == bench["runs"][0]["events"]["count"]
+
+    def test_check_against_self_passes_and_tamper_fails(self, tmp_path,
+                                                        capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["--smoke", "--report", str(baseline)]) == 0
+        assert main(["--smoke", "--check-against", str(baseline)]) == 0
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        data["runs"][0]["summary"]["throughput_tx_s"] *= 2.0
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(data), encoding="utf-8")
+        assert main(["--smoke", "--check-against", str(tampered)]) == 1
+        err = capsys.readouterr().err
+        assert "deviation" in err
+
+    def test_flags_accepted_after_experiment_name(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(["smartchain", "--clients", "300", "--duration", "2.0",
+                     "--trace", str(trace)])
+        assert code == 0
+        capsys.readouterr()
+        validate_trace(json.loads(trace.read_text(encoding="utf-8")))
