@@ -76,6 +76,7 @@ def _common(parser: argparse.ArgumentParser) -> None:
             ("--audit", {"action": "store_true"}),
             ("--trace", {"metavar": "PATH"}),
             ("--events", {"metavar": "PATH"}),
+            ("--faults", {"metavar": "PLAN"}),
             ("--check-against", {"metavar": "BASELINE",
                                  "dest": "check_against"})):
         parser.add_argument(flag, default=argparse.SUPPRESS,
@@ -124,6 +125,11 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument("--events", metavar="PATH", default=None,
                         help="write the first row's protocol event stream "
                              "as JSONL")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="inject a Byzantine fault plan into the run: a "
+                             "named plan (see repro.faults.NAMED_PLANS), a "
+                             "JSON file path, or inline JSON (smartchain "
+                             "experiment only; combine with --audit)")
     parser.add_argument("--check-against", metavar="BASELINE", default=None,
                         dest="check_against",
                         help="compare the report against a saved baseline "
@@ -167,6 +173,17 @@ def _main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError) as exc:
             parser.error(
                 f"cannot load baseline {args.check_against}: {exc}")
+    fault_plan = None
+    if args.faults is not None:
+        if args.experiment != "smartchain":
+            parser.error("--faults needs the smartchain experiment "
+                         "(the comparators have no replica runtimes "
+                         "to compromise)")
+        from repro.faults import FaultPlanError, load_plan
+        try:  # resolve now so typos fail before the simulation starts
+            fault_plan = load_plan(args.faults)
+        except FaultPlanError as exc:
+            parser.error(str(exc))
 
     observe = (args.report is not None or args.smoke
                or args.trace is not None or args.events is not None
@@ -218,7 +235,7 @@ def _main(argv: list[str] | None = None) -> int:
         experiment = "smartchain"
         rows = [run_smartchain(
             PersistenceVariant(args.variant), StorageMode(args.storage),
-            n=args.n, **kwargs)]
+            n=args.n, faults=fault_plan, **kwargs)]
 
     # With the report going to stdout, keep stdout pure JSON and move the
     # human-readable rows to stderr.

@@ -118,6 +118,10 @@ class Scenario:
     audit: bool = False
     #: Bound on retained protocol events (oldest dropped and counted).
     event_capacity: int = 100_000
+    #: Fault plan for adversarial runs: a :class:`repro.faults.FaultPlan`,
+    #: a named plan (``"equivocate"``), a JSON file path, an inline JSON
+    #: string, or ``None`` for a fault-free run.
+    faults: Any = None
 
     def describe(self) -> dict[str, Any]:
         """JSON-safe summary of the scenario (for bench reports)."""
@@ -132,7 +136,18 @@ class Scenario:
             "variant": self.variant.value,
             "storage": self.storage.value,
             "verification": self.verification.value,
+            "faults": self._fault_plan_name(),
         }
+
+    def _fault_plan_name(self) -> str | None:
+        if self.faults is None:
+            return None
+        name = getattr(self.faults, "name", None)
+        if isinstance(name, str):
+            return name
+        if isinstance(self.faults, dict):
+            return self.faults.get("name")
+        return str(self.faults)
 
 
 @dataclass
@@ -248,6 +263,12 @@ class _Built:
     label: str
     system: Any
     metrics: Callable[[], dict[str, Any]]
+    #: Fault-injection surface: the network plus ``{id: replica}`` (and,
+    #: for SMARTCHAIN, ``{id: SmartChainNode}``).  Builders that cannot
+    #: host Byzantine replicas (the comparators) leave these unset.
+    network: Any = None
+    replicas: dict[int, Any] | None = None
+    nodes: dict[int, Any] | None = None
 
 
 def _build_smartchain(sim: Simulator, sc: Scenario,
@@ -276,7 +297,10 @@ def _build_smartchain(sim: Simulator, sc: Scenario,
     return _Built(stations, label, consortium, lambda: {
         "blocks": node0.delivery.blocks_built,
         "certificates": node0.delivery.certs_completed,
-    })
+    }, network=consortium.network,
+        replicas={nid: node.replica
+                  for nid, node in consortium.nodes.items()},
+        nodes=dict(consortium.nodes))
 
 
 def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory):
@@ -307,7 +331,7 @@ def _build_naive(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
              f"{sc.storage.value} writes, n={sc.n})")
     return _Built(stations, label, replicas, lambda: {
         "blocks": replicas[0].delivery.blocks_built,
-    })
+    }, network=network, replicas={r.id: r for r in replicas})
 
 
 def _build_dura(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
@@ -328,7 +352,8 @@ def _build_dura(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
             "mean_group_commit": sum(groups) / len(groups) if groups else 0,
         }
 
-    return _Built(stations, label, replicas, metrics)
+    return _Built(stations, label, replicas, metrics,
+                  network=network, replicas={r.id: r for r in replicas})
 
 
 def _build_tendermint(sim: Simulator, sc: Scenario,
@@ -400,6 +425,14 @@ def run(scenario: Scenario) -> ExperimentResult:
     sim = Simulator(scenario.seed, obs=obs)
     costs = scenario.costs or CostModel()
     built = builder(sim, scenario, costs)
+    if scenario.faults is not None:
+        from repro.faults import FaultInjector
+        if built.replicas is None:
+            raise ValueError(
+                f"system {scenario.system!r} does not support fault "
+                "injection (no replica runtimes to compromise)")
+        FaultInjector(scenario.faults).install(
+            sim, built.network, built.replicas, built.nodes)
     for station in built.stations:
         station.start_all(stagger=0.002)
     sim.run(until=scenario.duration)
@@ -435,13 +468,15 @@ def run_smartchain(
     warmup: float = DEFAULT_WARMUP,
     observe: bool = False,
     audit: bool = False,
+    faults: Any = None,
 ) -> ExperimentResult:
     """One SMARTCHAIN configuration under the SMaRtCoin workload."""
     return run(Scenario(
         system="smartchain", variant=variant, storage=storage,
         verification=verification, n=n, clients=clients, duration=duration,
         seed=seed, checkpoint_period=checkpoint_period, costs=costs,
-        workload=workload, label=label, warmup=warmup, observe=observe, audit=audit))
+        workload=workload, label=label, warmup=warmup, observe=observe,
+        audit=audit, faults=faults))
 
 
 def run_naive_smartcoin(

@@ -134,6 +134,22 @@ class ConsensusInstance:
     def accept_count(self, batch_hash: bytes) -> int:
         return len(self.accepts.get(batch_hash, ()))
 
+    def reset_for_view(self, quorum: int) -> None:
+        """Re-arm the instance after a view change (reconfiguration).
+
+        Votes cast in the old view are discarded — their ACCEPT signatures
+        were made with now-rotated consensus keys, so they can never count
+        toward a certificate in the new view — but the proposed batch is
+        kept: wiping it would lose an in-flight proposal to the
+        view-change race.
+        """
+        self.quorum = quorum
+        self.writes.clear()
+        self.accepts.clear()
+        if self.phase is not Phase.DECIDED:
+            self.phase = (Phase.PROPOSED if self.batch_hash is not None
+                          else Phase.IDLE)
+
     def reset_for_regency(self, regency: int) -> None:
         """Re-arm the instance after a leader change.
 

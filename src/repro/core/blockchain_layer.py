@@ -132,6 +132,7 @@ class SmartChainDelivery(SequentialDelivery):
         self.checkpoints_taken = 0
         self.certs_completed = 0
         self.certs_timed_out = 0
+        self.stale_votes_rejected = 0
 
     def _count(self, name: str) -> None:
         """Mirror a chain statistic into the metrics registry when observed."""
@@ -257,12 +258,10 @@ class SmartChainDelivery(SequentialDelivery):
         self.chain.append(block)
         self.blocks_built += 1
         self._count("chain.blocks_built")
-        obs = replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("block-append", replica.id, replica.sim.now,
-                            block=number, cid=decision.cid,
-                            digest=block.digest().hex(),
-                            view=header.view_id)
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("block-append", block=number, cid=decision.cid,
+                      digest=block.digest().hex(), view=header.view_id)
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(
                 self.LOG, ("results", number, tuple(result_records)),
@@ -289,12 +288,10 @@ class SmartChainDelivery(SequentialDelivery):
                 block.certificate = certificate
                 self.certs_completed += 1
                 self._count("chain.certs_completed")
-                if obs.record_events:
-                    obs.events.emit("persist-certificate", replica.id,
-                                    replica.sim.now, block=number,
-                                    digest=digest.hex(),
-                                    view=replica.cv.view_id,
-                                    signers=sorted(matching))
+                if rt.observing:
+                    rt.notify("persist-certificate", block=number,
+                              digest=digest.hex(), view=replica.cv.view_id,
+                              signers=sorted(matching))
                 replica.store.append(
                     self.LOG, ("cert", number, certificate.to_record()),
                     certificate.size_bytes())
@@ -370,12 +367,10 @@ class SmartChainDelivery(SequentialDelivery):
         self.chain.append(block)
         self.blocks_built += 1
         self._count("chain.blocks_built")
-        obs = replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("block-append", replica.id, replica.sim.now,
-                            block=number, cid=decision.cid,
-                            digest=block.digest().hex(),
-                            view=header.view_id)
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("block-append", block=number, cid=decision.cid,
+                      digest=block.digest().hex(), view=header.view_id)
         if self.storage is not StorageMode.MEMORY:
             replica.store.append(
                 self.LOG,
@@ -422,10 +417,9 @@ class SmartChainDelivery(SequentialDelivery):
             signature = key.sign(digest)
             msg = PersistMsg(block_number=block.number, header_digest=digest,
                              replica_id=replica.id, signature=signature)
-            obs = replica.sim.obs
-            if obs.record_events:
-                obs.events.emit("persist-vote", replica.id, replica.sim.now,
-                                **msg.event_fields())
+            rt = replica.runtime
+            if rt.observing:
+                rt.notify("persist-vote", **msg.event_fields())
             replica.broadcast_view(msg)
 
         replica.charge_pool(replica.costs.crypto.sign_time, signed)
@@ -446,10 +440,9 @@ class SmartChainDelivery(SequentialDelivery):
         _digest, completion = waiting
         self.replica.trace.emit(self.replica.sim.now, "persist-timeout",
                                 replica=self.replica.id, block=number)
-        obs = self.replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("persist-timeout", self.replica.id,
-                            self.replica.sim.now, block=number)
+        rt = self.replica.runtime
+        if rt.observing:
+            rt.notify("persist-timeout", block=number)
         completion()
 
     def _on_persist(self, src: int, msg: PersistMsg) -> None:
@@ -458,11 +451,13 @@ class SmartChainDelivery(SequentialDelivery):
             return
         public = replica.keydir.lookup(replica.cv.view_id, src)
         if public is None:
+            self._flag_stale_vote(src, msg)
             return
 
         def verified() -> None:
             if not replica.registry.verify(public, msg.header_digest,
                                            msg.signature):
+                self._flag_stale_vote(src, msg)
                 return
             votes = self._persist_votes.setdefault(msg.block_number, {})
             votes[src] = (msg.header_digest, msg.signature)
@@ -470,6 +465,26 @@ class SmartChainDelivery(SequentialDelivery):
             self._maybe_answer_persist(src, msg)
 
         replica.charge_pool(replica.costs.crypto.verify_time, verified)
+
+    def _flag_stale_vote(self, src: int, msg: PersistMsg) -> None:
+        """A PERSIST vote that does not verify under the current view's key
+        directory: check whether its signature was produced with a *retired*
+        view's consensus key — the forgetting protocol (Section V-D) in
+        action, rejecting an adversary replaying erased credentials."""
+        replica = self.replica
+        signer = getattr(msg.signature, "signer", None)
+        if signer is None:
+            return
+        for view_id in range(replica.cv.view_id - 1, -1, -1):
+            if replica.keydir.lookup(view_id, src) == signer:
+                self.stale_votes_rejected += 1
+                self._count("chain.stale_votes_rejected")
+                rt = replica.runtime
+                if rt.observing:
+                    rt.notify("stale-reject", block=msg.block_number,
+                              src=src, signed_view=view_id,
+                              current_view=replica.cv.view_id)
+                return
 
     def _maybe_answer_persist(self, src: int, msg: PersistMsg) -> None:
         """Help a lagging peer re-certify: if we hold the block it is trying
@@ -526,12 +541,11 @@ class SmartChainDelivery(SequentialDelivery):
             pass  # block not held locally (cannot happen in practice)
         self.certs_completed += 1
         self._count("chain.certs_completed")
-        obs = self.replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("persist-certificate", self.replica.id,
-                            self.replica.sim.now, block=number,
-                            digest=digest.hex(), view=view.view_id,
-                            signers=sorted(matching))
+        rt = self.replica.runtime
+        if rt.observing:
+            rt.notify("persist-certificate", block=number,
+                      digest=digest.hex(), view=view.view_id,
+                      signers=sorted(matching))
         if self.storage is not StorageMode.MEMORY:
             # Line 34: the certificate write is asynchronous — after a full
             # crash the group can always recreate the same certificate.
@@ -579,10 +593,10 @@ class SmartChainDelivery(SequentialDelivery):
             self.last_reconfig = block.number
             self.reconfig_blocks += 1
             self._count("chain.reconfig_blocks")
-            if obs.record_events:
-                obs.events.emit("reconfig", replica.id, replica.sim.now,
-                                op="install", block=block.number,
-                                view=reconfig.new_view.view_id)
+            rt = replica.runtime
+            if rt.observing:
+                rt.notify("reconfig", op="install", block=block.number,
+                          view=reconfig.new_view.view_id)
             replica.install_view(reconfig.new_view)
             if self.on_reconfiguration is not None:
                 self.on_reconfiguration(block, reconfig)
@@ -602,10 +616,9 @@ class SmartChainDelivery(SequentialDelivery):
         self.last_checkpoint = number
         self.checkpoints_taken += 1
         self._count("chain.checkpoints_taken")
-        obs = replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("checkpoint", replica.id, replica.sim.now,
-                            block=number, cid=self.executed_cid)
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("checkpoint", block=number, cid=self.executed_cid)
         info = self._make_checkpoint_info(number, self.executed_cid)
         self._checkpoints.append(info)
         # Keep the initial checkpoint plus the last three generations.
@@ -935,12 +948,10 @@ class SmartChainDelivery(SequentialDelivery):
             self.replica.trace.emit(
                 self.replica.sim.now, "suffix-lost", replica=self.replica.id,
                 blocks=[b.number for b in dropped])
-            obs = self.replica.sim.obs
-            if obs.record_events:
-                obs.events.emit("suffix-lost", self.replica.id,
-                                self.replica.sim.now,
-                                blocks=[b.number for b in dropped],
-                                height=keep)
+            rt = self.replica.runtime
+            if rt.observing:
+                rt.notify("suffix-lost",
+                          blocks=[b.number for b in dropped], height=keep)
             self._rebuild_service_state()
         head = self.chain.head()
         return head.body.consensus_id if head is not None else -1

@@ -238,10 +238,10 @@ class ReconfigManager:
             outcome = self._handle_keyreg(request)
         if outcome is not None:
             replica = self.replica
-            obs = replica.sim.obs
-            if obs.record_events:
-                obs.events.emit(
-                    "reconfig", replica.id, replica.sim.now, op=kind,
+            rt = replica.runtime
+            if rt.observing:
+                rt.notify(
+                    "reconfig", op=kind,
                     applied=outcome.new_view is not None,
                     view=(outcome.new_view.view_id
                           if outcome.new_view is not None

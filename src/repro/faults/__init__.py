@@ -1,0 +1,52 @@
+"""Byzantine fault injection (``repro.faults``).
+
+The paper's safety claims are only as strong as the adversary they are
+tested against.  This package supplies that adversary: declarative,
+seeded :class:`FaultPlan` scenarios (:mod:`repro.faults.plan`), Byzantine
+behaviors implemented as node-runtime interceptors
+(:mod:`repro.faults.behaviors`), and the :class:`FaultInjector` that
+installs a plan into a built scenario (:mod:`repro.faults.inject`).
+
+Entry points: ``Scenario(faults=...)`` in the bench harness, the
+``--faults PLAN`` CLI flag, or direct use in tests::
+
+    from repro.faults import FaultInjector
+    FaultInjector("equivocate").install(sim, network, replicas, nodes)
+"""
+
+from repro.faults.behaviors import (
+    Behavior,
+    EquivocateBehavior,
+    MuteBehavior,
+    StaleReplayBehavior,
+    WithholdVotesBehavior,
+)
+from repro.faults.inject import FaultInjectionError, FaultInjector
+from repro.faults.plan import (
+    NAMED_PLANS,
+    BehaviorSpec,
+    CrashSpec,
+    FaultPlan,
+    FaultPlanError,
+    MembershipAction,
+    NetworkAction,
+    load_plan,
+)
+
+__all__ = [
+    "Behavior",
+    "BehaviorSpec",
+    "CrashSpec",
+    "EquivocateBehavior",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "MembershipAction",
+    "MuteBehavior",
+    "NAMED_PLANS",
+    "NetworkAction",
+    "StaleReplayBehavior",
+    "WithholdVotesBehavior",
+    "load_plan",
+]

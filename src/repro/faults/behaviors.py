@@ -1,0 +1,272 @@
+"""Byzantine behaviors as :class:`~repro.smr.runtime.Interceptor` subclasses.
+
+Each behavior attacks one of the paper's safety/liveness arguments through
+the real protocol — no hand-seeded event traces:
+
+- :class:`EquivocateBehavior` — an equivocating leader sends conflicting
+  PROPOSEs to disjoint subsets of the correct replicas and double-votes for
+  every value it sees (attacks agreement, Section II-C / Figure 1: with
+  ≤ f traitors no two conflicting ⌈(n+f+1)/2⌉ quorums can form).
+- :class:`MuteBehavior` — a silent (or selectively silent) replica
+  (attacks liveness; the synchronization phase must route around it).
+- :class:`WithholdVotesBehavior` — participates everywhere except the
+  WRITE/ACCEPT vote steps (a stealthier liveness attack: the replica still
+  looks alive to failure detectors).
+- :class:`StaleReplayBehavior` — refuses to erase retired per-view
+  consensus keys and, after a reconfiguration, replays PERSIST votes signed
+  with the retired key (attacks the forgetting protocol end-to-end,
+  Section V-D / Observation 3: the group must reject the stale signature).
+
+A behavior's random draws come from its own seeded RNG stream, so chaos
+runs replay bit-for-bit; its first activation is announced with a
+``behavior-activated`` protocol event so audited runs show the attack next
+to the invariant checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Hashable
+
+from repro.consensus.messages import AcceptMsg, ProposeMsg, WriteMsg, \
+    batch_wire_size
+from repro.core.persistence import PersistMsg
+from repro.crypto.hashing import hash_obj
+from repro.faults.plan import BehaviorSpec
+from repro.net.message import Message
+from repro.smr.runtime import Interceptor
+
+__all__ = [
+    "Behavior",
+    "EquivocateBehavior",
+    "MuteBehavior",
+    "WithholdVotesBehavior",
+    "StaleReplayBehavior",
+    "build_behavior",
+]
+
+
+class Behavior(Interceptor):
+    """Base class tying one behavior spec to one compromised replica."""
+
+    def __init__(self, replica, spec: BehaviorSpec,
+                 byzantine: frozenset[int], seed_material: str):
+        self.replica = replica
+        self.spec = spec
+        #: Every Byzantine node in the plan — colluders are never fooled by
+        #: each other's equivocation, so attacks target correct nodes only.
+        self.byzantine = byzantine
+        self.rng = random.Random(seed_material)
+        self.activated = False
+
+    def install(self) -> None:
+        """Attach to the replica's runtime (both chains + event taps)."""
+        self.replica.runtime.install(self)
+
+    def window_active(self, cid: int | None = None) -> bool:
+        """Is the behavior's trigger window (time and cid) open?"""
+        spec = self.spec
+        now = self.replica.sim.now
+        if now < spec.after:
+            return False
+        if spec.until is not None and now >= spec.until:
+            return False
+        if cid is not None and spec.cids is not None and cid not in spec.cids:
+            return False
+        return True
+
+    def activate(self, **detail: Any) -> None:
+        """Announce the first engagement of this behavior (once)."""
+        if self.activated:
+            return
+        self.activated = True
+        rt = self.replica.runtime
+        if rt.observing:
+            rt.notify("behavior-activated", behavior=self.spec.behavior,
+                      **detail)
+
+
+class EquivocateBehavior(Behavior):
+    """Equivocating leader + double-voter.
+
+    Outbound: when this replica leads and proposes a batch of two or more
+    requests, the correct replicas are split into two halves that receive
+    *conflicting* PROPOSEs for the same consensus id (the second half gets
+    the batch in reverse order, a genuinely different value with a different
+    hash).  Colluding Byzantine peers and the traitor itself keep the
+    original, so each half sees a self-consistent leader.
+
+    Inbound: the traitor WRITE- and ACCEPT-votes for *every* value it
+    learns of in the instance, trying to complete conflicting quorums.
+    With ≤ f traitors both values can reach at most f + ⌈(n-f)/2⌉ < quorum
+    votes, the instance stalls, and the synchronization phase replaces the
+    leader — the run must stay audit-clean.  With f+1 traitors the vote
+    arithmetic breaks and the auditor must report a fork.
+    """
+
+    def __init__(self, replica, spec, byzantine, seed_material):
+        super().__init__(replica, spec, byzantine, seed_material)
+        self._variants: dict[int, dict[Hashable, ProposeMsg]] = {}
+        self._voted: set[tuple[int, bytes]] = set()
+
+    def on_outbound(self, dst: Hashable, msg: Message):
+        if not isinstance(msg, ProposeMsg) or not self.window_active(msg.cid):
+            return [(dst, msg)]
+        if len(msg.batch) < 2:
+            return [(dst, msg)]  # a 1-request batch has no second ordering
+        variants = self._variants.get(msg.cid)
+        if variants is None:
+            variants = self._split(msg)
+            self._variants[msg.cid] = variants
+        return [(dst, variants.get(dst, msg))]
+
+    def _split(self, msg: ProposeMsg) -> dict[Hashable, ProposeMsg]:
+        replica = self.replica
+        correct = [m for m in replica.cv.members if m not in self.byzantine]
+        group_b = correct[len(correct) // 2:]
+        batch_b = list(reversed(msg.batch))
+        conflict = ProposeMsg(
+            cid=msg.cid, regency=msg.regency, batch=batch_b,
+            batch_hash=hash_obj([r.to_canonical() for r in batch_b]),
+            size=batch_wire_size(batch_b))
+        self.activate(cid=msg.cid, split=sorted(group_b),
+                      conflicting_hash=conflict.batch_hash.hex())
+        return {dst: conflict for dst in group_b}
+
+    def on_inbound(self, src: Hashable, msg: Message):
+        cid = getattr(msg, "cid", None)
+        batch_hash = getattr(msg, "batch_hash", None)
+        if (isinstance(msg, (ProposeMsg, WriteMsg)) and cid is not None
+                and batch_hash is not None and self.window_active(cid)
+                and cid > self.replica.last_decided
+                and (cid, batch_hash) not in self._voted):
+            self._voted.add((cid, batch_hash))
+            self._double_vote(cid, msg.regency, batch_hash)
+        return msg
+
+    def _double_vote(self, cid: int, regency: int, batch_hash: bytes) -> None:
+        """WRITE and ACCEPT this value regardless of previous votes —
+        exactly what an honest replica may never do."""
+        replica = self.replica
+        rt = replica.runtime
+        self.activate(cid=cid)
+        key = replica.consensus_key()
+        if key.is_erased:
+            return
+        signature = key.sign(hash_obj(("accept", cid, batch_hash)))
+        write = WriteMsg(cid=cid, regency=regency, batch_hash=batch_hash)
+        accept = AcceptMsg(cid=cid, regency=regency, batch_hash=batch_hash,
+                           signature=signature)
+        # send_raw: fabricated votes must not loop back through this chain.
+        for dst in replica.cv.members:
+            rt.send_raw(dst, write)
+            rt.send_raw(dst, accept)
+
+
+class MuteBehavior(Behavior):
+    """Silent replica: drops outbound traffic inside its window.
+
+    ``params['kinds']`` restricts the muting to specific message kinds
+    (class names); ``params['targets']`` to specific destinations.
+    """
+
+    def on_outbound(self, dst: Hashable, msg: Message):
+        if not self.window_active(getattr(msg, "cid", None)):
+            return [(dst, msg)]
+        kinds = self.spec.params.get("kinds")
+        if kinds is not None and msg.kind not in kinds:
+            return [(dst, msg)]
+        targets = self.spec.params.get("targets")
+        if targets is not None and dst not in targets:
+            return [(dst, msg)]
+        self.activate(muted=msg.kind)
+        return []
+
+
+class WithholdVotesBehavior(Behavior):
+    """Drops this replica's own WRITE/ACCEPT votes (and PERSIST shares).
+
+    ``params['phases']`` may restrict withholding to a subset of
+    ``{"write", "accept", "persist"}``; the default withholds all three.
+    """
+
+    PHASE_OF = {WriteMsg: "write", AcceptMsg: "accept", PersistMsg: "persist"}
+
+    def on_outbound(self, dst: Hashable, msg: Message):
+        phase = self.PHASE_OF.get(type(msg))
+        if phase is None or not self.window_active(getattr(msg, "cid", None)):
+            return [(dst, msg)]
+        phases = self.spec.params.get("phases", ("write", "accept", "persist"))
+        if phase not in phases:
+            return [(dst, msg)]
+        self.activate(withheld=phase)
+        return []
+
+
+class StaleReplayBehavior(Behavior):
+    """Retired-key replayer attacking the forgetting protocol.
+
+    On install the compromised replica stops erasing retired per-view keys
+    (``replica.erase_retired_keys = False`` — modelling key exfiltration
+    before the rotation).  When a later view installs, it waits briefly and
+    then replays a PERSIST vote for the next block signed with the retired
+    key of the *previous* view.  A correct group must refuse the vote: the
+    current view's key directory no longer vouches for that key, and the
+    rejection is recorded as a ``stale-reject`` protocol event
+    (Observation 3: compromising retired members' keys breaks nothing).
+
+    ``params['delay']`` tunes how long after the view change the replay
+    fires (default 0.05 s).
+    """
+
+    def __init__(self, replica, spec, byzantine, seed_material):
+        super().__init__(replica, spec, byzantine, seed_material)
+        self._replayed_views: set[int] = set()
+
+    def install(self) -> None:
+        super().install()
+        self.replica.erase_retired_keys = False
+
+    def on_event(self, kind: str, fields: dict[str, Any]) -> None:
+        if kind != "view-change" or not self.window_active():
+            return
+        new_view = fields.get("view", 0)
+        retired = new_view - 1
+        if retired < 0 or retired in self._replayed_views:
+            return
+        self._replayed_views.add(retired)
+        delay = self.spec.params.get("delay", 0.05)
+        members = list(fields.get("members", ()))
+        self.replica.sim.schedule(delay, self._replay, retired, members)
+
+    def _replay(self, retired_view: int, members: list[int]) -> None:
+        replica = self.replica
+        key = replica.consensus_keys.get(retired_view)
+        if key is None or key.is_erased or replica.crashed:
+            return
+        height = getattr(getattr(replica.delivery, "chain", None),
+                         "height", 0)
+        target = height + 1
+        digest = hash_obj(("stale-replay", replica.id, target,
+                           self.rng.random()))
+        msg = PersistMsg(block_number=target, header_digest=digest,
+                         replica_id=replica.id, signature=key.sign(digest))
+        self.activate(retired_view=retired_view, block=target)
+        for dst in members:
+            if dst != replica.id:
+                replica.runtime.send_raw(dst, msg)
+
+
+_BEHAVIOR_CLASSES = {
+    "equivocate": EquivocateBehavior,
+    "mute": MuteBehavior,
+    "withhold-votes": WithholdVotesBehavior,
+    "stale-replay": StaleReplayBehavior,
+}
+
+
+def build_behavior(replica, spec: BehaviorSpec, byzantine: frozenset[int],
+                   seed_material: str) -> Behavior:
+    """Instantiate the behavior class named by ``spec`` for ``replica``."""
+    cls = _BEHAVIOR_CLASSES[spec.behavior]
+    return cls(replica, spec, byzantine, seed_material)

@@ -1,0 +1,152 @@
+"""Turns a :class:`~repro.faults.plan.FaultPlan` into scheduled chaos.
+
+The injector is the bridge between declarative plans and the live system:
+behavior interceptors are installed on the compromised replicas' runtimes,
+network actions and crash/recover cycles become simulator events, and every
+action announces itself with a ``fault-injected`` protocol event so audited
+runs show the attack timeline next to the invariant checks (network-wide
+actions carry ``node=-1``; the auditor ignores negative nodes for
+membership tracking).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+from repro.faults.behaviors import Behavior, build_behavior
+from repro.faults.plan import FaultPlan, load_plan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjectionError(ReproError):
+    """The plan references nodes or facilities the scenario lacks."""
+
+
+class FaultInjector:
+    """Installs one fault plan into one built scenario.
+
+    Parameters of :meth:`install`:
+
+    ``sim``/``network``
+        The simulation substrate.
+    ``replicas``
+        ``{replica_id: ModSmartReplica}`` — behaviors attach to these.
+    ``nodes``
+        Optional ``{node_id: SmartChainNode}``; when present, crash/recover
+        cycles go through the node wrapper (which re-certifies blocks on
+        recovery) and membership actions become real reconfiguration
+        requests.  Membership actions *require* nodes.
+    """
+
+    def __init__(self, plan: "FaultPlan | dict | str"):
+        self.plan = load_plan(plan)
+        self.behaviors: list[Behavior] = []
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    def install(self, sim, network, replicas: dict,
+                nodes: dict | None = None) -> "FaultInjector":
+        if self.installed:
+            raise FaultInjectionError("fault plan already installed")
+        self.installed = True
+        self._sim = sim
+        plan = self.plan
+        byzantine = plan.byzantine_nodes
+        missing = sorted(set(byzantine) - set(replicas))
+        if missing:
+            raise FaultInjectionError(
+                f"plan {plan.name!r} compromises nodes {missing} "
+                f"not present in the scenario (have {sorted(replicas)})")
+
+        if plan.protocol:
+            configs: list[Any] = []
+            for replica in replicas.values():
+                if any(replica.config is c for c in configs):
+                    continue  # replicas usually share one config object
+                configs.append(replica.config)
+                for key, value in plan.protocol.items():
+                    if not hasattr(replica.config, key):
+                        raise FaultInjectionError(
+                            f"plan {plan.name!r} overrides unknown protocol "
+                            f"knob {key!r}")
+                    setattr(replica.config, key, value)
+            self._announce(0.0, -1, action="protocol",
+                           overrides=dict(plan.protocol))
+
+        for index, spec in enumerate(plan.behaviors):
+            for node_id in spec.nodes:
+                behavior = build_behavior(
+                    replicas[node_id], spec, byzantine,
+                    f"faults:{sim.seed}:{plan.seed}:{index}:{node_id}")
+                behavior.install()
+                self.behaviors.append(behavior)
+                self._announce(0.0, node_id, action="behavior",
+                               behavior=spec.behavior, after=spec.after)
+
+        for action in plan.network:
+            sim.schedule_at(action.at, self._network_action, network, action)
+
+        for spec in plan.crashes:
+            target = (nodes or replicas).get(spec.node)
+            if target is None:
+                raise FaultInjectionError(
+                    f"plan {plan.name!r} crashes unknown node {spec.node}")
+            for cycle in range(max(1, spec.repeat)):
+                offset = cycle * spec.period
+                sim.schedule_at(spec.at + offset, self._crash, target, spec)
+                if spec.recover_at is not None:
+                    sim.schedule_at(spec.recover_at + offset, self._recover,
+                                    target, spec)
+
+        for action in plan.membership:
+            if nodes is None or action.node not in nodes:
+                raise FaultInjectionError(
+                    f"plan {plan.name!r} needs SmartChain node {action.node} "
+                    "for membership actions")
+            sim.schedule_at(action.at, self._leave, nodes[action.node])
+        return self
+
+    # ------------------------------------------------------------------
+    # Scheduled actions (each announces itself when it fires)
+    # ------------------------------------------------------------------
+    def _network_action(self, network, action) -> None:
+        if action.op == "partition":
+            network.partition(*action.groups)
+            self._announce(self._sim.now, -1, action="partition",
+                           groups=[sorted(g) for g in action.groups])
+        elif action.op == "heal":
+            network.heal()
+            self._announce(self._sim.now, -1, action="heal")
+        elif action.op == "drop":
+            network.set_drop_probability(action.src, action.dst, action.p)
+            self._announce(self._sim.now, -1, action="drop",
+                           src=action.src, dst=action.dst, p=action.p)
+        elif action.op == "delay":
+            network.set_extra_delay(action.src, action.dst, action.seconds)
+            self._announce(self._sim.now, -1, action="delay",
+                           src=action.src, dst=action.dst,
+                           seconds=action.seconds)
+
+    def _crash(self, target, spec) -> None:
+        replica = getattr(target, "replica", target)
+        if not replica.crashed:
+            self._announce(self._sim.now, spec.node, action="crash")
+            target.crash()
+
+    def _recover(self, target, spec) -> None:
+        replica = getattr(target, "replica", target)
+        if replica.crashed:
+            self._announce(self._sim.now, spec.node, action="recover")
+            target.recover()
+
+    def _leave(self, node) -> None:
+        self._announce(self._sim.now, node.id, action="leave")
+        node.leave()
+
+    def _announce(self, time: float, node: int, **fields: Any) -> None:
+        obs = self._sim.obs
+        if obs.record_events:
+            obs.events.emit("fault-injected", node, time, plan=self.plan.name,
+                            **fields)

@@ -1,0 +1,260 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a seeded, serializable description of an adversarial
+scenario: which replicas run which Byzantine behavior (and inside which
+time/consensus-id window), what the network does (partitions, healing,
+lossy/slow links), which nodes crash and recover on what schedule, and any
+membership changes.  The :class:`~repro.faults.inject.FaultInjector` turns a
+plan into installed behavior interceptors and scheduled simulator actions.
+
+Plans are data, not code, so the same chaos scenario can be named on the
+bench CLI (``--faults equivocate``), stored in a file, or constructed in a
+test — and the same plan + the same simulator seed always reproduces the
+same run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BehaviorSpec",
+    "NetworkAction",
+    "CrashSpec",
+    "MembershipAction",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "load_plan",
+]
+
+#: Behaviors implemented in :mod:`repro.faults.behaviors`.
+BEHAVIOR_KINDS = ("equivocate", "mute", "withhold-votes", "stale-replay")
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed or cannot be resolved."""
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    """One Byzantine behavior assigned to one or more replicas.
+
+    ``after``/``until`` bound the active window in simulated seconds;
+    ``cids`` (optional) restricts the behavior to specific consensus ids.
+    ``params`` are behavior-specific knobs (see :mod:`repro.faults.behaviors`).
+    """
+
+    behavior: str
+    nodes: tuple[int, ...]
+    after: float = 0.0
+    until: float | None = None
+    cids: tuple[int, ...] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.behavior not in BEHAVIOR_KINDS:
+            raise FaultPlanError(
+                f"unknown behavior {self.behavior!r}; "
+                f"expected one of {BEHAVIOR_KINDS}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.cids is not None:
+            object.__setattr__(self, "cids", tuple(self.cids))
+
+
+@dataclass(frozen=True)
+class NetworkAction:
+    """One scheduled network manipulation.
+
+    ``op`` is one of ``partition`` (needs ``groups``), ``heal``, ``drop``
+    (needs ``src``/``dst``/``p``) or ``delay`` (needs ``src``/``dst``/
+    ``seconds``).
+    """
+
+    op: str
+    at: float
+    groups: tuple[tuple[int, ...], ...] = ()
+    src: int | None = None
+    dst: int | None = None
+    p: float = 0.0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("partition", "heal", "drop", "delay"):
+            raise FaultPlanError(f"unknown network op {self.op!r}")
+        object.__setattr__(
+            self, "groups", tuple(tuple(g) for g in self.groups))
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """A crash (and optional recovery) cycle for one node.
+
+    ``repeat`` > 1 with a ``period`` produces a crash-recover storm: the
+    cycle re-fires every ``period`` seconds.
+    """
+
+    node: int
+    at: float
+    recover_at: float | None = None
+    repeat: int = 1
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.repeat > 1 and self.period <= 0.0:
+            raise FaultPlanError("repeated crashes need a positive period")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise FaultPlanError("recover_at must come after the crash")
+
+
+@dataclass(frozen=True)
+class MembershipAction:
+    """A scheduled reconfiguration request (currently: ``leave``)."""
+
+    op: str
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.op != "leave":
+            raise FaultPlanError(f"unknown membership op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete adversarial scenario, serializable and seeded.
+
+    ``seed`` is folded together with the simulator seed into the behaviors'
+    private RNG stream, so the same (sim seed, plan) pair is deterministic
+    while distinct plans draw independently.
+    """
+
+    name: str
+    seed: int = 0
+    behaviors: tuple[BehaviorSpec, ...] = ()
+    network: tuple[NetworkAction, ...] = ()
+    crashes: tuple[CrashSpec, ...] = ()
+    membership: tuple[MembershipAction, ...] = ()
+    #: SMR config overrides applied to every replica at install time, e.g.
+    #: ``{"request_timeout": 0.25}`` so a short chaos run still exercises
+    #: the leader-change path (the default 2 s trigger outlasts the run).
+    protocol: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "behaviors", tuple(self.behaviors))
+        object.__setattr__(self, "network", tuple(self.network))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "membership", tuple(self.membership))
+
+    @property
+    def byzantine_nodes(self) -> frozenset[int]:
+        """Every node running at least one Byzantine behavior."""
+        return frozenset(n for spec in self.behaviors for n in spec.nodes)
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FaultPlan":
+        try:
+            return cls(
+                name=data["name"],
+                seed=int(data.get("seed", 0)),
+                behaviors=tuple(BehaviorSpec(**spec)
+                                for spec in data.get("behaviors", ())),
+                network=tuple(NetworkAction(**action)
+                              for action in data.get("network", ())),
+                crashes=tuple(CrashSpec(**spec)
+                              for spec in data.get("crashes", ())),
+                membership=tuple(MembershipAction(**action)
+                                 for action in data.get("membership", ())),
+                protocol=dict(data.get("protocol", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Named plans: one canonical scenario per behavior, sized for the default
+# n=4 (f=1) SMARTCHAIN consortium — each stays within the fault threshold,
+# so an audited run must come out clean.
+# ----------------------------------------------------------------------
+NAMED_PLANS: dict[str, FaultPlan] = {
+    # An equivocating leader: replica 0 (the initial leader) sends
+    # conflicting PROPOSEs to disjoint halves of the correct replicas and
+    # double-votes for both values.  With a single traitor no conflicting
+    # quorums can form; the protocol stalls the instance and changes leader
+    # (the shortened request timeout lets that happen within a short run).
+    # The window bounds the attack to one equivocating instance so the run
+    # also demonstrates recovery; drop ``until`` to model a permanently
+    # faulty leader.
+    "equivocate": FaultPlan(
+        name="equivocate",
+        behaviors=(BehaviorSpec("equivocate", nodes=(0,),
+                                after=0.3, until=0.45),),
+        protocol={"request_timeout": 0.25},
+    ),
+    # A silent replica: replica 2 stops transmitting entirely mid-run.
+    "mute": FaultPlan(
+        name="mute",
+        behaviors=(BehaviorSpec("mute", nodes=(2,), after=0.5),),
+    ),
+    # A vote-withholding replica: replica 1 keeps proposing/receiving but
+    # never contributes WRITE or ACCEPT votes.
+    "withhold-votes": FaultPlan(
+        name="withhold-votes",
+        behaviors=(BehaviorSpec("withhold-votes", nodes=(1,), after=0.5),),
+    ),
+    # The forgetting-protocol attack (Section V-D): replica 3 refuses to
+    # erase retired per-view consensus keys, leaves the group, and after
+    # the reconfiguration replays PERSIST votes signed with its retired
+    # key — the group must reject them (Observation 3).
+    "stale-replay": FaultPlan(
+        name="stale-replay",
+        behaviors=(BehaviorSpec("stale-replay", nodes=(3,), after=0.0),),
+        membership=(MembershipAction("leave", node=3, at=0.6),),
+    ),
+    # A crash-recover storm composed with network chaos: replica 2 cycles
+    # through crash/recovery while a brief partition isolates replica 3
+    # and the 1->3 link stays lossy.
+    "crash-storm": FaultPlan(
+        name="crash-storm",
+        crashes=(CrashSpec(node=2, at=0.6, recover_at=1.0,
+                           repeat=2, period=1.0),),
+        network=(
+            NetworkAction("drop", at=0.5, src=1, dst=3, p=0.05),
+            NetworkAction("partition", at=0.7, groups=((0, 1, 2), (3,))),
+            NetworkAction("heal", at=1.1),
+        ),
+    ),
+}
+
+
+def load_plan(source: "FaultPlan | dict | str") -> FaultPlan:
+    """Resolve ``source`` into a :class:`FaultPlan`.
+
+    Accepts a plan object (returned as-is), a JSON mapping, the name of a
+    plan in :data:`NAMED_PLANS`, a path to a JSON file, or an inline JSON
+    string.
+    """
+    if isinstance(source, FaultPlan):
+        return source
+    if isinstance(source, dict):
+        return FaultPlan.from_json(source)
+    if source in NAMED_PLANS:
+        return NAMED_PLANS[source]
+    if source.lstrip().startswith("{"):
+        try:
+            return FaultPlan.from_json(json.loads(source))
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"bad inline fault plan JSON: {exc}") from exc
+    if os.path.exists(source):
+        with open(source, encoding="utf-8") as fh:
+            return FaultPlan.from_json(json.load(fh))
+    raise FaultPlanError(
+        f"unknown fault plan {source!r}; named plans: "
+        f"{', '.join(sorted(NAMED_PLANS))}")

@@ -20,6 +20,7 @@ Model
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable
 
@@ -88,10 +89,18 @@ class Network:
         self._blocked: set[tuple[Hashable, Hashable]] = set()
         self._drop_prob: dict[tuple[Hashable, Hashable], float] = {}
         self._extra_delay: dict[tuple[Hashable, Hashable], float] = {}
+        # Dedicated child RNG stream for network randomness (jitter, drop
+        # decisions, pre-GST asynchrony), derived from the sim seed.  Keeping
+        # these draws off the global ``sim.rng`` means toggling network
+        # faults (or injecting extra Byzantine traffic) leaves every
+        # non-network random draw in the run byte-identical.
+        self._rng = random.Random(f"net:{sim.seed}")
         # Statistics.
         self.messages_sent = 0
         self.messages_delivered = 0
-        self.messages_dropped = 0
+        self.dropped_partition = 0
+        self.dropped_prob = 0
+        self.dropped_detached = 0
         self.bytes_sent = 0
         # Observability: per-message-kind traffic counters when observed.
         self._obs = sim.obs
@@ -170,19 +179,19 @@ class Network:
 
     def _propagate(self, src: Hashable, dst: Hashable, msg: Message) -> None:
         if (src, dst) in self._blocked:
-            self.messages_dropped += 1
+            self.dropped_partition += 1
             return
         drop = self._drop_prob.get((src, dst), 0.0)
-        if drop > 0.0 and self.sim.rng.random() < drop:
-            self.messages_dropped += 1
+        if drop > 0.0 and self._rng.random() < drop:
+            self.dropped_prob += 1
             return
         cfg = self.config
-        delay = cfg.latency + self.sim.rng.uniform(0.0, cfg.jitter)
+        delay = cfg.latency + self._rng.uniform(0.0, cfg.jitter)
         delay += self._extra_delay.get((src, dst), 0.0)
         if self.sim.now < cfg.gst:
             # Before GST the network may behave asynchronously: messages can
             # be delayed by an arbitrary (bounded here) amount and reordered.
-            delay += self.sim.rng.uniform(0.0, cfg.asynchrony_max)
+            delay += self._rng.uniform(0.0, cfg.asynchrony_max)
         if src == dst:
             delay = 0.0  # loopback skips the wire
         self.sim.schedule(delay, self._deliver, src, dst, msg)
@@ -190,7 +199,7 @@ class Network:
     def _deliver(self, src: Hashable, dst: Hashable, msg: Message) -> None:
         receiver = self._endpoints.get(dst)
         if receiver is None or not receiver.up:
-            self.messages_dropped += 1
+            self.dropped_detached += 1
             return
         self.messages_delivered += 1
         receiver.handler(src, msg)
@@ -198,11 +207,20 @@ class Network:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    @property
+    def messages_dropped(self) -> int:
+        """Total drops across all causes (back-compat aggregate)."""
+        return (self.dropped_partition + self.dropped_prob
+                + self.dropped_detached)
+
     def stats(self) -> dict:
         """JSON-ready traffic summary for the run report."""
         return {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
+            "dropped_partition": self.dropped_partition,
+            "dropped_prob": self.dropped_prob,
+            "dropped_detached": self.dropped_detached,
             "bytes_sent": self.bytes_sent,
         }

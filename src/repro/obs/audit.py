@@ -145,9 +145,10 @@ class SafetyAuditor:
     # ------------------------------------------------------------------
     def on_event(self, event: ProtocolEvent) -> None:
         self.events_checked += 1
-        if event.kind != "reconfig":
+        if event.kind != "reconfig" and event.node >= 0:
             # Reconfig events may come from off-cluster submitters (the
-            # View Manager); everything else identifies a replica.
+            # View Manager) and fault-injection events from the harness
+            # itself (node -1); everything else identifies a replica.
             self._known.add(event.node)
         handler = getattr(self, "_on_" + event.kind.replace("-", "_"), None)
         if handler is not None:

@@ -43,6 +43,9 @@ EVENT_KINDS = frozenset({
     "checkpoint",           # core/blockchain_layer.py: checkpoint block
     "suffix-lost",          # core/blockchain_layer.py: weak-variant truncation
     "reconfig",             # core/reconfig.py + smr/viewmanager.py
+    "stale-reject",         # core/blockchain_layer.py: retired-key vote refused
+    "fault-injected",       # faults/inject.py: a FaultPlan action fired
+    "behavior-activated",   # faults/behaviors.py: a Byzantine behavior engaged
 })
 
 

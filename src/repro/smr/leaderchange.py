@@ -28,6 +28,8 @@ class Synchronizer:
 
     def __init__(self, replica: "ModSmartReplica"):
         self.replica = replica
+        for msg_type in (StopMsg, StopDataMsg, SyncMsg):
+            replica.runtime.register_handler(msg_type, self.on_message)
         self.in_sync_phase = False
         self._stop_votes: dict[int, set[int]] = {}
         self._stopdata: dict[int, dict[int, StopDataMsg]] = {}
@@ -124,11 +126,10 @@ class Synchronizer:
 
         replica.trace.emit(replica.sim.now, "regency-installed",
                            replica=replica.id, regency=regency)
-        obs = replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("leader-change", replica.id, replica.sim.now,
-                            regency=regency,
-                            leader=replica.cv.leader(regency))
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("leader-change", regency=regency,
+                      leader=replica.cv.leader(regency))
         stopdata = StopDataMsg(
             regency=regency,
             last_decided_cid=replica.last_decided,

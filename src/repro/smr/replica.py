@@ -9,6 +9,11 @@ Division of labour
 ------------------
 - This class owns *ordering* and the shared machine resources (state-machine
   thread, verification pool, NIC endpoint, stable store).
+- A :class:`~repro.smr.runtime.NodeRuntime` owns the message plumbing: typed
+  handler dispatch, the inbound/outbound interceptor chains (fault
+  injection, tracing) and the protocol-event taps.  Collaborators register
+  their message types with the runtime instead of reaching into replica
+  internals.
 - A pluggable :class:`~repro.smr.service.DeliveryLayer` owns what happens to
   decided batches (execution, durability, replies, blockchain building).
 - :class:`~repro.smr.leaderchange.Synchronizer` owns regency changes.
@@ -26,9 +31,6 @@ from repro.consensus.instance import ConsensusInstance
 from repro.consensus.messages import (
     AcceptMsg,
     ProposeMsg,
-    StopDataMsg,
-    StopMsg,
-    SyncMsg,
     WriteMsg,
     batch_wire_size,
 )
@@ -41,6 +43,7 @@ from repro.sim.engine import Simulator
 from repro.sim.resource import Resource
 from repro.sim.trace import TraceLog
 from repro.smr.keydir import KeyDirectory
+from repro.smr.runtime import NodeRuntime
 from repro.smr.requests import (
     ClientRequest,
     Decision,
@@ -145,20 +148,33 @@ class ModSmartReplica:
         self._incarnation = 0
         self._batch_timer = None
         self._gap_timer = None
-        self._extra_handlers: dict[type, Callable[[int, Message], None]] = {}
+        #: Forgetting protocol switch: a compromised replica that refuses to
+        #: erase retired per-view keys sets this False (the stale-replay
+        #: fault behavior); honest replicas always erase.
+        self.erase_retired_keys = True
 
         # Statistics.
         self.decided_count = 0
         self.executed_tx_count = 0
 
-        # Collaborators (import here to avoid cycles).
+        # Message plumbing: typed dispatch + interceptor chains.
+        self.runtime = NodeRuntime(sim, network, replica_id)
+        self.runtime.gate = lambda: not self.crashed
+        self.runtime.register_handler(RequestBatchMsg, self._on_request_batch)
+        self.runtime.register_handler(ProposeMsg, self._on_propose)
+        self.runtime.register_handler(WriteMsg, self._on_write)
+        self.runtime.register_handler(AcceptMsg, self._on_accept)
+
+        # Collaborators (import here to avoid cycles).  Each registers its
+        # own message types with the runtime.
         from repro.smr.leaderchange import Synchronizer
         from repro.smr.statetransfer import StateTransferEngine
         self.synchronizer = Synchronizer(self)
         self.state_transfer = StateTransferEngine(self)
+        self.runtime.fallback = self.state_transfer.maybe_handle
 
         delivery.attach(self)
-        self.endpoint = network.register(replica_id, self._on_message)
+        self.endpoint = network.register(replica_id, self.runtime.deliver)
 
     # ==================================================================
     # Resource charging helpers
@@ -222,52 +238,32 @@ class ModSmartReplica:
     def rotate_keys(self, new_view: View) -> None:
         """Forgetting protocol: generate the new view's key, erase older ones."""
         self.ensure_consensus_key(new_view.view_id)
-        if self.key_policy == "per_view":
+        if self.key_policy == "per_view" and self.erase_retired_keys:
             erased = []
             for view_id, key in self.consensus_keys.items():
                 if view_id < new_view.view_id and not key.is_erased:
                     key.erase()
                     erased.append(view_id)
             if erased:
-                obs = self.sim.obs
-                if obs.record_events:
-                    obs.events.emit("key-rotation", self.id, self.sim.now,
-                                    view=new_view.view_id,
-                                    erased_views=sorted(erased))
+                rt = self.runtime
+                if rt.observing:
+                    rt.notify("key-rotation", view=new_view.view_id,
+                              erased_views=sorted(erased))
 
     # ==================================================================
-    # Message plumbing
+    # Message plumbing (delegated to the NodeRuntime)
     # ==================================================================
     def register_handler(self, msg_type: type,
                          fn: Callable[[int, Message], None]) -> None:
         """Let layers (PERSIST phase, reconfiguration, ...) receive messages."""
-        self._extra_handlers[msg_type] = fn
+        self.runtime.register_handler(msg_type, fn)
 
     def send(self, dst: int, msg: Message) -> None:
-        self.net.send(self.id, dst, msg)
+        self.runtime.send(dst, msg)
 
     def broadcast_view(self, msg: Message, include_self: bool = True) -> None:
         targets = [m for m in self.cv.members if include_self or m != self.id]
-        self.net.broadcast(self.id, targets, msg)
-
-    def _on_message(self, src: int, msg: Message) -> None:
-        if self.crashed:
-            return
-        if isinstance(msg, RequestBatchMsg):
-            self._on_request_batch(src, msg)
-        elif isinstance(msg, ProposeMsg):
-            self._on_propose(src, msg)
-        elif isinstance(msg, WriteMsg):
-            self._on_write(src, msg)
-        elif isinstance(msg, AcceptMsg):
-            self._on_accept(src, msg)
-        elif isinstance(msg, (StopMsg, StopDataMsg, SyncMsg)):
-            self.synchronizer.on_message(src, msg)
-        else:
-            handler = self._extra_handlers.get(type(msg))
-            if handler is None:
-                handler = self.state_transfer.maybe_handle
-            handler(src, msg)
+        self.runtime.broadcast(targets, msg)
 
     # ==================================================================
     # Request ingestion and verification gating
@@ -438,7 +434,7 @@ class ModSmartReplica:
         instance = self.instances.get(cid)
         if instance is None:
             observer = (self._consensus_event
-                        if self.sim.obs.record_events else None)
+                        if self.runtime.observing else None)
             instance = ConsensusInstance(cid, self.cv.quorum,
                                          observer=observer)
             self.instances[cid] = instance
@@ -446,11 +442,10 @@ class ModSmartReplica:
 
     def _consensus_event(self, cid: int, phase: str,
                          batch_hash: bytes | None) -> None:
-        obs = self.sim.obs
-        if obs.record_events:
-            obs.events.emit("consensus-phase", self.id, self.sim.now,
-                            cid=cid, phase=phase,
-                            batch_hash=(batch_hash or b"").hex())
+        rt = self.runtime
+        if rt.observing:
+            rt.notify("consensus-phase", cid=cid, phase=phase,
+                      batch_hash=(batch_hash or b"").hex())
 
     def _on_propose(self, src: int, msg: ProposeMsg) -> None:
         if msg.cid <= self.last_decided:
@@ -581,11 +576,11 @@ class ModSmartReplica:
         obs = self.sim.obs
         if obs.trace_pipeline:
             obs.trace_cid(self.id, decision.cid, "accept", self.sim.now)
-        if obs.record_events:
-            obs.events.emit("decide", self.id, self.sim.now,
-                            cid=decision.cid, batch=len(decision.batch),
-                            batch_hash=decision.batch_hash.hex(),
-                            regency=decision.regency)
+        rt = self.runtime
+        if rt.observing:
+            rt.notify("decide", cid=decision.cid, batch=len(decision.batch),
+                      batch_hash=decision.batch_hash.hex(),
+                      regency=decision.regency)
         self.synchronizer.on_progress()
         if (decision.batch and decision.batch[0].special == "vmview"
                 and self.config.view_manager_public is not None):
@@ -693,33 +688,24 @@ class ModSmartReplica:
         for cid in list(self.instances):
             if cid <= self.last_decided:
                 continue
-            # Update the pending instance in place: new quorum, votes from
-            # departed members dropped, but the proposed batch KEPT — wiping
-            # it would lose an in-flight proposal to the view-change race.
+            # Old-view votes are void — their ACCEPT signatures used the
+            # now-rotated consensus keys — so the tallies restart (the
+            # proposed batch is kept).  Re-voting under the new view lets
+            # the quorum re-form with the new membership and fresh keys.
             instance = self.instances[cid]
-            instance.quorum = new_view.quorum
-            for votes in instance.writes.values():
-                votes.intersection_update(members)
-            for tally in instance.accepts.values():
-                for voter in [v for v in tally if v not in members]:
-                    del tally[voter]
-            if instance.batch_hash is not None and not instance.decided:
-                from repro.consensus.instance import Phase
-                instance.phase = Phase.PROPOSED
-                if self.active and self.id in members:
-                    # Re-vote under the new view so quorums re-form with the
-                    # new membership and fresh consensus keys.
-                    self.broadcast_view(WriteMsg(
-                        cid=cid, regency=self.regency,
-                        batch_hash=instance.batch_hash))
+            instance.reset_for_view(new_view.quorum)
+            if (instance.batch_hash is not None and not instance.decided
+                    and self.active and self.id in members):
+                self.broadcast_view(WriteMsg(
+                    cid=cid, regency=self.regency,
+                    batch_hash=instance.batch_hash))
         self.inflight.clear()
         self.trace.emit(self.sim.now, "view-installed", replica=self.id,
                         view=new_view.view_id, members=new_view.members)
-        obs = self.sim.obs
-        if obs.record_events:
-            obs.events.emit("view-change", self.id, self.sim.now,
-                            view=new_view.view_id,
-                            members=list(new_view.members))
+        rt = self.runtime
+        if rt.observing:
+            rt.notify("view-change", view=new_view.view_id,
+                      members=list(new_view.members))
         if not new_view.contains(self.id):
             self.active = False
         self.maybe_propose()
@@ -754,10 +740,9 @@ class ModSmartReplica:
         self.store.crash()
         self.delivery.on_crash()
         self.trace.emit(self.sim.now, "crash", replica=self.id)
-        obs = self.sim.obs
-        if obs.record_events:
-            obs.events.emit("crash", self.id, self.sim.now,
-                            incarnation=self._incarnation)
+        rt = self.runtime
+        if rt.observing:
+            rt.notify("crash", incarnation=self._incarnation)
 
     def recover(self, on_ready: Callable[[], None] | None = None) -> None:
         """Restart after a crash: reload local stable state, then run state
@@ -767,16 +752,16 @@ class ModSmartReplica:
             return
         self.crashed = False
         self.active = False
-        self.endpoint = self.net.register(self.id, self._on_message)
+        self.endpoint = self.net.register(self.id, self.runtime.deliver)
         recovered = self.delivery.recover_local()
         self.last_decided = recovered
         self.last_executed = recovered
         self.trace.emit(self.sim.now, "recovering", replica=self.id,
                         local_cid=recovered)
-        obs = self.sim.obs
-        if obs.record_events:
-            obs.events.emit(
-                "recovering", self.id, self.sim.now, local_cid=recovered,
+        rt = self.runtime
+        if rt.observing:
+            rt.notify(
+                "recovering", local_cid=recovered,
                 height=getattr(getattr(self.delivery, "chain", None),
                                "height", -1))
 
@@ -785,9 +770,9 @@ class ModSmartReplica:
             self.regency = 0
             self.trace.emit(self.sim.now, "recovered", replica=self.id,
                             cid=target_cid)
-            if obs.record_events:
-                obs.events.emit(
-                    "recover", self.id, self.sim.now, cid=target_cid,
+            if rt.observing:
+                rt.notify(
+                    "recover", cid=target_cid,
                     height=getattr(getattr(self.delivery, "chain", None),
                                    "height", -1))
             if on_ready is not None:

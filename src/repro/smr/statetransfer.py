@@ -93,6 +93,9 @@ class StateTransferEngine:
 
     def __init__(self, replica: "ModSmartReplica"):
         self.replica = replica
+        for msg_type in (StProbeMsg, StInfoMsg, StRequestMsg,
+                         StChunkMsg, StHashMsg):
+            replica.runtime.register_handler(msg_type, self.maybe_handle)
         self._on_done: Callable[[int], None] | None = None
         self._infos: dict[int, tuple[int, bool]] = {}
         self._expect_self_verified = False
@@ -132,15 +135,15 @@ class StateTransferEngine:
         self._hashes.clear()
         self._probing = True
         self._started_at = replica.sim.now
-        obs = replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("state-transfer", replica.id, replica.sim.now,
-                            phase="start", from_cid=replica.last_decided)
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("state-transfer", phase="start",
+                      from_cid=replica.last_decided)
         peers = [m for m in replica.cv.members if m != replica.id]
         if not peers:
             self._finish(replica.last_decided)
             return
-        replica.net.broadcast(replica.id, peers, StProbeMsg())
+        replica.runtime.broadcast(peers, StProbeMsg())
         self._arm_retry()
 
     def _arm_retry(self) -> None:
@@ -243,6 +246,11 @@ class StateTransferEngine:
             c: d for c, d in replica.decision_buffer.items() if c > cid}
         replica.future_proposals = {
             c: p for c, p in replica.future_proposals.items() if c > cid}
+        if replica.delivery.can_self_verify():
+            # Blocks that missed their certificate while this replica was
+            # behind may be waiting on exactly its PERSIST vote (same as
+            # the recover() path).
+            replica.sim.call_soon(replica.delivery.repersist_missing)
         self._finish(cid)
 
     def _finish(self, cid: int) -> None:
@@ -256,11 +264,10 @@ class StateTransferEngine:
         self.replica.trace.emit(self.replica.sim.now, "state-transfer-done",
                                 replica=self.replica.id, cid=cid,
                                 seconds=self.last_transfer_seconds)
-        obs = self.replica.sim.obs
-        if obs.record_events:
-            obs.events.emit("state-transfer", self.replica.id,
-                            self.replica.sim.now, phase="done", cid=cid,
-                            seconds=self.last_transfer_seconds)
+        rt = self.replica.runtime
+        if rt.observing:
+            rt.notify("state-transfer", phase="done", cid=cid,
+                      seconds=self.last_transfer_seconds)
         if done is not None:
             done(cid)
         self.replica.kick_pending_proposals()

@@ -186,3 +186,155 @@ class TestFaults:
         net.send("a", "b", Message(size=0))
         sim.run()
         assert times[0] < 0.01
+
+
+class TestDropAccounting:
+    """Each drop cause has its own counter; messages_dropped aggregates."""
+
+    def test_partition_drops(self):
+        sim, net = build()
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: None)
+        net.partition(["a"], ["b"])
+        net.send("a", "b", Message(size=10))
+        sim.run()
+        assert (net.dropped_partition, net.dropped_prob,
+                net.dropped_detached) == (1, 0, 0)
+        assert net.messages_dropped == 1
+
+    def test_probabilistic_drops(self):
+        sim, net = build()
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: None)
+        net.set_drop_probability("a", "b", 1.0)
+        net.send("a", "b", Message(size=10))
+        sim.run()
+        assert (net.dropped_partition, net.dropped_prob,
+                net.dropped_detached) == (0, 1, 0)
+
+    def test_detached_drops(self):
+        sim, net = build(latency=0.01, jitter=0.0)
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: None)
+        net.send("a", "b", Message(size=10))
+        net.unregister("b")  # crash while the message is in flight
+        sim.run()
+        assert (net.dropped_partition, net.dropped_prob,
+                net.dropped_detached) == (0, 0, 1)
+
+    def test_stats_exposes_split_counters(self):
+        sim, net = build()
+        net.register("a", lambda s, m: None)
+        net.partition(["a"], ["ghost"])
+        net.send("a", "ghost", Message(size=10))
+        sim.run()
+        stats = net.stats()
+        assert stats["dropped_partition"] == 1
+        assert stats["dropped_prob"] == 0
+        assert stats["dropped_detached"] == 0
+        assert stats["messages_dropped"] == 1
+
+
+class TestFaultInterplay:
+    """partition / heal / set_extra_delay composition semantics."""
+
+    def test_partition_checked_at_propagation_not_at_send(self):
+        # A message still serializing on the NIC when the partition heals
+        # must be delivered: blocking is a property of the wire at
+        # propagation time, not of the send call.
+        sim, net = build(latency=0.0, jitter=0.0, bandwidth_bps=1e6)
+        seen = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: seen.append(sim.now))
+        net.partition(["a"], ["b"])
+        big = 125_000 - HEADER_OVERHEAD_BYTES  # 1 s on the NIC at 1 Mbps
+        net.send("a", "b", Message(size=big))
+        sim.schedule(0.5, net.heal)
+        sim.run()
+        assert len(seen) == 1 and seen[0] == pytest.approx(1.0, rel=0.01)
+        assert net.dropped_partition == 0
+
+    def test_heal_does_not_resurrect_dropped_messages(self):
+        # A message dropped at the partition is gone for good; only traffic
+        # sent after heal() goes through, in FIFO order.
+        sim, net = build(latency=0.001, jitter=0.0)
+        order = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: order.append(m.msg_id))
+        net.partition(["a"], ["b"])
+        lost = Message(size=0)
+        net.send("a", "b", lost)
+        first, second = Message(size=0), Message(size=0)
+
+        def heal_and_resend():
+            net.heal()
+            net.send("a", "b", first)
+            net.send("a", "b", second)
+
+        sim.schedule(0.1, heal_and_resend)
+        sim.run()
+        assert order == [first.msg_id, second.msg_id]
+        assert net.dropped_partition == 1
+
+    def test_extra_delay_survives_heal(self):
+        # heal() clears partitions only; a slow link stays slow.
+        sim, net = build(latency=0.001, jitter=0.0)
+        times = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: times.append(sim.now))
+        net.set_extra_delay("a", "b", 0.3)
+        net.partition(["a"], ["b"])
+        net.heal()
+        net.send("a", "b", Message(size=0))
+        sim.run()
+        assert times[0] > 0.3
+
+    def test_extra_delay_reorders_deliveries(self):
+        # A message sent earlier on a slowed link arrives after a message
+        # sent later once the delay is lifted — the reordering that
+        # leader-change timeouts must tolerate.
+        sim, net = build(latency=0.001, jitter=0.0)
+        order = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: order.append(m.msg_id))
+        slow, fast = Message(size=0), Message(size=0)
+        net.set_extra_delay("a", "b", 0.2)
+        net.send("a", "b", slow)
+
+        def lift_and_send():
+            net.set_extra_delay("a", "b", 0.0)
+            net.send("a", "b", fast)
+
+        sim.schedule(0.05, lift_and_send)
+        sim.run()
+        assert order == [fast.msg_id, slow.msg_id]
+
+
+class TestRngIsolation:
+    """Network randomness draws from a private stream, not sim.rng."""
+
+    def test_traffic_leaves_global_rng_untouched(self):
+        sim, net = build(jitter=0.001)
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: None)
+        net.set_drop_probability("a", "b", 0.5)
+        state = sim.rng.getstate()
+        for _ in range(50):
+            net.send("a", "b", Message(size=10))
+        sim.run()
+        assert sim.rng.getstate() == state
+
+    def test_delivery_schedule_independent_of_global_rng_use(self):
+        def run_once(burn_global):
+            sim, net = build(seed=42, jitter=0.001)
+            times = []
+            net.register("a", lambda s, m: None)
+            net.register("b", lambda s, m: times.append(sim.now))
+            if burn_global:
+                sim.rng.random()  # a non-network consumer of randomness
+            for _ in range(10):
+                net.send("a", "b", Message(size=10))
+            sim.run()
+            return times
+
+        assert run_once(False) == run_once(True)
