@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the simulator: times the five Table I rows on
+the host and reports events/sec, CPU time and crypto-cache hit rates.
+
+Thin wrapper so the suite is runnable from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick \
+        --check-against benchmarks/results/BENCH_wallclock.json
+
+The logic lives in :mod:`repro.bench.wallclock` (pytest collects
+``bench_*.py`` files, so this file must not execute anything at import
+time).
+"""
+
+import sys
+
+from repro.bench.wallclock import main
+
+if __name__ == "__main__":
+    sys.exit(main())

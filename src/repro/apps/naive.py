@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.config import StorageMode
-from repro.crypto.hashing import EMPTY_DIGEST, hash_obj
+from repro.crypto.hashing import EMPTY_DIGEST, hash_obj_cached
 from repro.smr.requests import Decision
 from repro.smr.service import Application, SequentialDelivery
 from repro.storage.stable import AsyncFlusher
@@ -93,11 +93,16 @@ class NaiveBlockchainDelivery(SequentialDelivery):
         done()
 
     def _build_block(self, decision: Decision, results: dict) -> dict:
-        payload = [(req.client_id, req.req_id, repr(req.op)) for req in decision.batch]
+        payload = [(req.client_id, req.req_id, req.op_repr)
+                   for req in decision.batch]
         result_list = [(key[0], key[1], repr(value[0]))
                        for key, value in results.items()]
-        header_hash = hash_obj(("naive", len(self.chain) + 1, self.prev_hash,
-                                payload, result_list))
+        # Tuples encode identically to lists, so the digest is unchanged;
+        # the tuple form is hashable, letting the content-addressed memo
+        # dedupe the n identical per-replica block builds.
+        header_hash = hash_obj_cached(
+            ("naive", len(self.chain) + 1, self.prev_hash,
+             tuple(payload), tuple(result_list)))
         block = {
             "number": len(self.chain) + 1,
             "prev": self.prev_hash,

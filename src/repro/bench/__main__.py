@@ -28,6 +28,12 @@ stream as JSONL; ``--check-against BASELINE`` compares the fresh report
 against a saved baseline report with tolerance bands (exit code 1 on
 drift beyond tolerance).
 
+``--profile`` wraps the simulation runs in :mod:`cProfile`, prints the top
+functions by cumulative time to stderr and attaches them to the report
+(``report["profile"]``) — see docs/performance.md.  The host-time
+counterpart of these simulated-time benchmarks lives in
+``benchmarks/bench_wallclock.py``.
+
 For the figure sweeps (6, 7, 8) use the pytest benchmarks, which also assert
 the shapes: ``pytest benchmarks/ --benchmark-only``.
 """
@@ -35,6 +41,7 @@ the shapes: ``pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import sys
 
@@ -52,6 +59,7 @@ from repro.bench.harness import (
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
 from repro.obs.audit import AuditError
 from repro.obs.compare import compare_reports
+from repro.bench.wallclock import format_profile, profile_stats
 from repro.obs.report import build_bench_report, validate_bench_report
 from repro.obs.traceview import build_trace, write_trace
 
@@ -77,6 +85,7 @@ def _common(parser: argparse.ArgumentParser) -> None:
             ("--trace", {"metavar": "PATH"}),
             ("--events", {"metavar": "PATH"}),
             ("--faults", {"metavar": "PLAN"}),
+            ("--profile", {"action": "store_true"}),
             ("--check-against", {"metavar": "BASELINE",
                                  "dest": "check_against"})):
         parser.add_argument(flag, default=argparse.SUPPRESS,
@@ -135,6 +144,10 @@ def _main(argv: list[str] | None = None) -> int:
                         help="compare the report against a saved baseline "
                              "bench report (exit 1 on drift beyond "
                              "tolerance)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the experiment with cProfile; print "
+                             "the top functions by cumulative time to "
+                             "stderr and attach them to the report")
     parser.set_defaults(clients=1200, duration=2.5, seed=1)
     sub = parser.add_subparsers(dest="experiment")
 
@@ -193,49 +206,62 @@ def _main(argv: list[str] | None = None) -> int:
 
     options = {"clients": args.clients, "duration": args.duration,
                "seed": args.seed}
-    if args.smoke:
-        experiment = "smoke"
-        options = {"clients": 300, "duration": 2.0, "seed": args.seed}
-        rows = [run_smartchain(PersistenceVariant.STRONG, StorageMode.SYNC,
-                               observe=True, audit=args.audit, **options)]
-    elif args.experiment == "calibration":
-        print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
-        for label, paper, measured, ratio in calibration_report(
-                clients=args.clients, duration=args.duration,
-                seed=args.seed):
-            print(f"{label:<36} {paper:>8.0f} {measured:>9.0f} "
-                  f"{ratio:>5.2f}x")
-        if args.report is not None:
-            print("(calibration has no report output; "
-                  "use table1/table2/smartchain)", file=sys.stderr)
-        return 0
-    elif args.experiment == "table1":
-        experiment = "table1"
-        rows = [
-            run_naive_smartcoin(VerificationMode.SEQUENTIAL,
-                                StorageMode.SYNC, **kwargs),
-            run_naive_smartcoin(VerificationMode.SEQUENTIAL,
-                                StorageMode.ASYNC, **kwargs),
-            run_naive_smartcoin(VerificationMode.PARALLEL,
-                                StorageMode.SYNC, **kwargs),
-            run_naive_smartcoin(VerificationMode.PARALLEL,
-                                StorageMode.ASYNC, **kwargs),
-            run_dura_smart(**kwargs),
-        ]
-    elif args.experiment == "table2":
-        experiment = "table2"
-        rows = [
-            run_smartchain(PersistenceVariant.STRONG, **kwargs),
-            run_smartchain(PersistenceVariant.WEAK, **kwargs),
-            run_tendermint(**{**kwargs,
-                              "duration": max(8.0, args.duration)}),
-            run_fabric(**{**kwargs, "duration": max(8.0, args.duration)}),
-        ]
-    else:  # smartchain
-        experiment = "smartchain"
-        rows = [run_smartchain(
-            PersistenceVariant(args.variant), StorageMode(args.storage),
-            n=args.n, faults=fault_plan, **kwargs)]
+    # The profile covers the simulation runs (the branch below); the
+    # try/finally prints it even on calibration's early return.
+    profiler = cProfile.Profile() if args.profile else None
+    profile_top: list | None = None
+    if profiler is not None:
+        profiler.enable()
+    try:
+        if args.smoke:
+            experiment = "smoke"
+            options = {"clients": 300, "duration": 2.0, "seed": args.seed}
+            rows = [run_smartchain(PersistenceVariant.STRONG,
+                                   StorageMode.SYNC,
+                                   observe=True, audit=args.audit, **options)]
+        elif args.experiment == "calibration":
+            print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
+            for label, paper, measured, ratio in calibration_report(
+                    clients=args.clients, duration=args.duration,
+                    seed=args.seed):
+                print(f"{label:<36} {paper:>8.0f} {measured:>9.0f} "
+                      f"{ratio:>5.2f}x")
+            if args.report is not None:
+                print("(calibration has no report output; "
+                      "use table1/table2/smartchain)", file=sys.stderr)
+            return 0
+        elif args.experiment == "table1":
+            experiment = "table1"
+            rows = [
+                run_naive_smartcoin(VerificationMode.SEQUENTIAL,
+                                    StorageMode.SYNC, **kwargs),
+                run_naive_smartcoin(VerificationMode.SEQUENTIAL,
+                                    StorageMode.ASYNC, **kwargs),
+                run_naive_smartcoin(VerificationMode.PARALLEL,
+                                    StorageMode.SYNC, **kwargs),
+                run_naive_smartcoin(VerificationMode.PARALLEL,
+                                    StorageMode.ASYNC, **kwargs),
+                run_dura_smart(**kwargs),
+            ]
+        elif args.experiment == "table2":
+            experiment = "table2"
+            rows = [
+                run_smartchain(PersistenceVariant.STRONG, **kwargs),
+                run_smartchain(PersistenceVariant.WEAK, **kwargs),
+                run_tendermint(**{**kwargs,
+                                  "duration": max(8.0, args.duration)}),
+                run_fabric(**{**kwargs, "duration": max(8.0, args.duration)}),
+            ]
+        else:  # smartchain
+            experiment = "smartchain"
+            rows = [run_smartchain(
+                PersistenceVariant(args.variant), StorageMode(args.storage),
+                n=args.n, faults=fault_plan, **kwargs)]
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profile_top = profile_stats(profiler)
+            print(format_profile(profile_top), file=sys.stderr)
 
     # With the report going to stdout, keep stdout pure JSON and move the
     # human-readable rows to stderr.
@@ -252,6 +278,9 @@ def _main(argv: list[str] | None = None) -> int:
             options=options,
         )
         validate_bench_report(report, min_phases=6 if args.smoke else 0)
+        if profile_top is not None:
+            # Extra top-level keys are tolerated by the report schema.
+            report["profile"] = profile_top
         if args.trace is not None:
             handle = rows[0].handle
             trace = build_trace(handle.obs, horizon=handle.sim.now,

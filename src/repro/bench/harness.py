@@ -21,6 +21,7 @@ of the serialized result.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -38,6 +39,7 @@ from repro.config import (
     VerificationMode,
 )
 from repro.core.node import bootstrap
+from repro.crypto import hashing as _hashing
 from repro.crypto.keys import KeyRegistry
 from repro.net.network import Network
 from repro.obs import Observability, build_run_report
@@ -435,12 +437,36 @@ def run(scenario: Scenario) -> ExperimentResult:
             sim, built.network, built.replicas, built.nodes)
     for station in built.stations:
         station.start_all(stagger=0.002)
-    sim.run(until=scenario.duration)
+    # Start cold so the per-run cache deltas reported below are
+    # deterministic regardless of what ran earlier in this process.
+    _hashing.clear_caches()
+    cache_before = _hashing.cache_stats()
+    # The run allocates millions of short-lived, almost entirely acyclic
+    # objects (heap entries, messages, payload tuples); generational cycle
+    # collection is pure overhead while it executes, so pause the collector
+    # for the duration (restored even if the run raises).
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        sim.run(until=scenario.duration)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    metrics = built.metrics()
+    cache_after = _hashing.cache_stats()
+    for key, before in cache_before.items():
+        metrics[key] = cache_after[key] - before
+    metrics["heap_compactions"] = sim.compactions
+    if obs.enabled:
+        for key, before in cache_before.items():
+            obs.metrics.counter(f"crypto.{key}").inc(cache_after[key] - before)
+        obs.metrics.counter("sim.heap_compactions").inc(sim.compactions)
     result = _measure(built.stations, scenario.duration,
                       scenario.label or built.label,
                       op_window=scenario.op_window,
                       warmup=scenario.warmup,
-                      metrics=built.metrics())
+                      metrics=metrics)
     result.handle = RunHandle(scenario=scenario, sim=sim, obs=obs,
                               stations=built.stations, system=built.system)
     if scenario.observe:

@@ -1,0 +1,269 @@
+"""Wall-clock benchmark of the simulator itself (``benchmarks/bench_wallclock.py``).
+
+Everything else in ``repro.bench`` measures *simulated* quantities —
+throughput and latency inside the model, which are deterministic per seed.
+This module measures the one thing that is not: how long the host takes to
+run the five Table I rows.  It is the regression gate for the hot-path
+optimizations documented in docs/performance.md (digest/signature caching,
+canonical-encoding fast paths, event-heap hygiene): a report row carries
+the row's wall and CPU time, the number of simulated events processed, and
+the crypto-cache hit/miss deltas, so a regression shows up both as time
+(slower) and as mechanism (hit rate collapsed, compactions exploded).
+
+Wall time on a shared machine is noisy (±30% under load), so each row is
+run ``reps`` times and the fastest repetition is kept — the minimum is the
+least-noise estimator for CPU-bound work.  The committed baseline in
+``benchmarks/results/BENCH_wallclock.json`` is compared with a generous
+multiplicative budget (:data:`repro.obs.compare.DEFAULT_WALLCLOCK_BUDGET`)
+for exactly that reason: the gate catches order-of-magnitude regressions,
+not percent-level drift.  Event counts, by contrast, are deterministic per
+seed and checked with a tight band.
+
+``--profile`` wraps the whole suite in :mod:`cProfile` and prints the top
+functions by cumulative time — the same profile view ``python -m
+repro.bench <experiment> --profile`` gives for a single experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from typing import Any, Callable
+
+from repro.bench.harness import (
+    ExperimentResult,
+    run_dura_smart,
+    run_naive_smartcoin,
+)
+from repro.config import StorageMode, VerificationMode
+from repro.obs.compare import (
+    DEFAULT_WALLCLOCK_BUDGET,
+    compare_wallclock,
+)
+
+__all__ = [
+    "WALLCLOCK_SCHEMA",
+    "table1_rows",
+    "run_wallclock_suite",
+    "profile_stats",
+    "format_profile",
+    "format_row",
+    "main",
+]
+
+WALLCLOCK_SCHEMA = "repro.obs/wallclock/v1"
+
+#: Row-level cache metrics copied from the run's metrics into the report.
+_CACHE_METRICS = ("digest_cache_hits", "digest_cache_misses",
+                  "verify_cache_hits", "verify_cache_misses",
+                  "heap_compactions")
+
+#: quick mode (CI): small enough to finish in a couple of seconds per rep.
+_QUICK = {"clients": 300, "duration": 1.0}
+#: full mode: the real Table I configuration.
+_FULL = {"clients": 1200, "duration": 2.5}
+
+
+def table1_rows(
+    clients: int, duration: float, seed: int,
+) -> list[tuple[str, Callable[[], ExperimentResult]]]:
+    """The five Table I rows as (label, runner) pairs."""
+    kwargs = dict(clients=clients, duration=duration, seed=seed)
+
+    def naive(verification: VerificationMode, storage: StorageMode):
+        return lambda: run_naive_smartcoin(verification, storage, **kwargs)
+
+    return [
+        ("naive seq sync",
+         naive(VerificationMode.SEQUENTIAL, StorageMode.SYNC)),
+        ("naive seq async",
+         naive(VerificationMode.SEQUENTIAL, StorageMode.ASYNC)),
+        ("naive par sync",
+         naive(VerificationMode.PARALLEL, StorageMode.SYNC)),
+        ("naive par async",
+         naive(VerificationMode.PARALLEL, StorageMode.ASYNC)),
+        ("dura-smart", lambda: run_dura_smart(**kwargs)),
+    ]
+
+
+def run_wallclock_suite(
+    quick: bool = False,
+    seed: int = 1,
+    reps: int | None = None,
+) -> dict[str, Any]:
+    """Run the Table I rows, timing the host; returns the wallclock report.
+
+    Each row runs ``reps`` times (default 2 quick / 3 full) and the fastest
+    repetition is kept.  Simulated outputs (events, throughput) are
+    identical across repetitions — only the host timing varies.
+    """
+    config = _QUICK if quick else _FULL
+    if reps is None:
+        reps = 2 if quick else 3
+    rows: list[dict[str, Any]] = []
+    total_wall = 0.0
+    total_events = 0
+    for label, runner in table1_rows(seed=seed, **config):
+        best_wall = best_cpu = float("inf")
+        result: ExperimentResult | None = None
+        for _ in range(reps):
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            candidate = runner()
+            cpu = time.process_time() - cpu0
+            wall = time.perf_counter() - wall0
+            if wall < best_wall:
+                best_wall, best_cpu, result = wall, cpu, candidate
+        assert result is not None
+        events = result.handle.sim.executed if result.handle else 0
+        row: dict[str, Any] = {
+            "label": label,
+            "wall_s": round(best_wall, 4),
+            "cpu_s": round(best_cpu, 4),
+            "events": events,
+            "events_per_s": round(events / best_wall) if best_wall else 0,
+            "completed_tx": result.completed,
+            "throughput_tx_s": round(result.throughput, 1),
+        }
+        for metric in _CACHE_METRICS:
+            if metric in result.metrics:
+                row[metric] = result.metrics[metric]
+        hits = row.get("digest_cache_hits", 0)
+        misses = row.get("digest_cache_misses", 0)
+        if hits + misses:
+            row["digest_cache_hit_rate"] = round(hits / (hits + misses), 4)
+        rows.append(row)
+        total_wall += best_wall
+        total_events += events
+    return {
+        "schema": WALLCLOCK_SCHEMA,
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "reps": reps,
+        "clients": config["clients"],
+        "duration": config["duration"],
+        "rows": rows,
+        "total_wall_s": round(total_wall, 4),
+        "total_events": total_events,
+        "events_per_s": round(total_events / total_wall) if total_wall else 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Profiling helpers (shared with ``python -m repro.bench --profile``)
+# ----------------------------------------------------------------------
+def profile_stats(
+    profiler: cProfile.Profile, top_n: int = 25,
+) -> list[dict[str, Any]]:
+    """Top ``top_n`` functions by cumulative time as JSON-able dicts."""
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, lineno, name), row in stats.stats.items():  # type: ignore[attr-defined]
+        cc, ncalls, tottime, cumtime, _callers = row
+        entries.append({
+            "function": f"{filename}:{lineno}({name})",
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 4),
+            "cumtime_s": round(cumtime, 4),
+        })
+    entries.sort(key=lambda entry: -entry["cumtime_s"])
+    return entries[:top_n]
+
+
+def format_profile(entries: list[dict[str, Any]]) -> str:
+    lines = [f"top {len(entries)} functions by cumulative time:",
+             f"  {'cumtime':>8} {'tottime':>8} {'ncalls':>10}  function"]
+    for entry in entries:
+        lines.append(f"  {entry['cumtime_s']:>8.3f} {entry['tottime_s']:>8.3f} "
+                     f"{entry['ncalls']:>10}  {entry['function']}")
+    return "\n".join(lines)
+
+
+def format_row(row: dict[str, Any]) -> str:
+    rate = row.get("digest_cache_hit_rate")
+    rate_text = f" hit-rate {rate:.1%}" if rate is not None else ""
+    return (f"{row['label']:<18} {row['wall_s']:>7.3f}s wall "
+            f"{row['cpu_s']:>7.3f}s cpu {row['events']:>9,} events "
+            f"({row['events_per_s']:>9,}/s){rate_text}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/bench_wallclock.py",
+        description="Wall-clock benchmark of the five Table I rows.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI configuration "
+                             f"({_QUICK['clients']} clients, "
+                             f"{_QUICK['duration']}s) instead of the full "
+                             f"Table I one ({_FULL['clients']} clients, "
+                             f"{_FULL['duration']}s)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per row; the fastest is kept "
+                             "(default: 2 quick / 3 full)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the wallclock report JSON to PATH")
+    parser.add_argument("--check-against", metavar="BASELINE", default=None,
+                        dest="check_against",
+                        help="compare against a saved wallclock report; "
+                             "exit 1 if any row is slower than the budget "
+                             "or event counts drift")
+    parser.add_argument("--budget", type=float,
+                        default=DEFAULT_WALLCLOCK_BUDGET,
+                        help="wall-clock regression budget as a multiple of "
+                             "the baseline (default %(default)s)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the suite with cProfile and print the "
+                             "top functions by cumulative time to stderr")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check_against is not None:
+        try:
+            with open(args.check_against, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load baseline {args.check_against}: {exc}")
+        if baseline.get("schema") != WALLCLOCK_SCHEMA:
+            parser.error(f"{args.check_against} is not a wallclock report "
+                         f"(schema {baseline.get('schema')!r})")
+
+    profiler = cProfile.Profile() if args.profile else None
+    if profiler is not None:
+        profiler.enable()
+    try:
+        report = run_wallclock_suite(quick=args.quick, seed=args.seed,
+                                     reps=args.reps)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if profiler is not None:
+        top = profile_stats(profiler)
+        report["profile"] = top
+        print(format_profile(top), file=sys.stderr)
+
+    for row in report["rows"]:
+        print(format_row(row))
+    print(f"{'TOTAL':<18} {report['total_wall_s']:>7.3f}s wall "
+          f"{report['total_events']:>28,} events "
+          f"({report['events_per_s']:>9,}/s)")
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+
+    if baseline is not None:
+        comparison = compare_wallclock(baseline, report, budget=args.budget)
+        print(comparison.format(), file=sys.stderr)
+        if not comparison.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

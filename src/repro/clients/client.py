@@ -25,7 +25,7 @@ from repro.smr.views import View
 __all__ = ["OpSpec", "Client", "ClientStation"]
 
 
-@dataclass
+@dataclass(slots=True)
 class OpSpec:
     """One operation a client wants executed."""
 
@@ -36,10 +36,11 @@ class OpSpec:
     special: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     request: ClientRequest
     client: "Client"
+    spec: OpSpec
     votes: dict[bytes, set[int]] = field(default_factory=dict)
     payloads: dict[bytes, Any] = field(default_factory=dict)
 
@@ -162,7 +163,7 @@ class ClientStation:
             reply_size=spec.reply_size,
             special=spec.special,
         )
-        self.outstanding[request.key] = _Outstanding(request, client)
+        self.outstanding[request.key] = _Outstanding(request, client, spec)
         obs = self.sim.obs
         if obs.trace_pipeline:
             obs.trace_request(request.key, "client_send", self.sim.now)
@@ -208,23 +209,24 @@ class ClientStation:
         if not isinstance(msg, ReplyBatchMsg):
             return
         quorum = self.view_of().quorum
+        outstanding = self.outstanding
+        replica_id = msg.replica_id
+        sim = self.sim
+        obs = sim.obs
         for key, (payload, digest) in msg.results.items():
-            record = self.outstanding.get(key)
+            record = outstanding.get(key)
             if record is None:
                 continue  # duplicate/late reply
-            voters = record.votes.setdefault(digest, set())
-            voters.add(msg.replica_id)
+            voters = record.votes.get(digest)
+            if voters is None:
+                voters = record.votes[digest] = set()
+            voters.add(replica_id)
             record.payloads[digest] = payload
             if len(voters) >= quorum:
-                del self.outstanding[key]
-                latency = self.sim.now - record.request.sent_at
+                del outstanding[key]
+                latency = sim.now - record.request.sent_at
                 self.latency.record(latency)
                 self.meter.record()
-                obs = self.sim.obs
                 if obs.trace_pipeline:
-                    obs.trace_request(key, "reply", self.sim.now)
-                spec = OpSpec(op=record.request.op, size=record.request.size,
-                              reply_size=record.request.reply_size,
-                              signed=record.request.signed,
-                              special=record.request.special)
-                record.client._completed(spec, record.payloads[digest])
+                    obs.trace_request(key, "reply", sim.now)
+                record.client._completed(record.spec, record.payloads[digest])

@@ -2,20 +2,30 @@
 
 from repro.crypto.hashing import (
     EMPTY_DIGEST,
+    cache_stats,
     canonical_bytes,
+    clear_caches,
     digest,
     digest_hex,
     hash_obj,
+    hash_obj_cached,
+    reset_cache_stats,
+    set_caches_enabled,
 )
 from repro.crypto.keys import CryptoCosts, KeyPair, KeyRegistry, Signature
 from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root
 
 __all__ = [
     "EMPTY_DIGEST",
+    "cache_stats",
     "canonical_bytes",
+    "clear_caches",
     "digest",
     "digest_hex",
     "hash_obj",
+    "hash_obj_cached",
+    "reset_cache_stats",
+    "set_caches_enabled",
     "CryptoCosts",
     "KeyPair",
     "KeyRegistry",

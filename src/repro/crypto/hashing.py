@@ -3,6 +3,30 @@
 All hash-chaining in the ledger uses real SHA-256 over a canonical byte
 encoding, so tamper-detection in tests is genuine: flipping any bit of a
 stored block changes its digest and breaks the chain.
+
+Hot-path engineering (see docs/performance.md)
+----------------------------------------------
+Canonical encoding and hashing dominate the simulator's wall-clock: a
+Table I run encodes hundreds of thousands of small tuples.  Two
+complementary optimizations keep the *bytes produced identical* while
+cutting the cost severalfold:
+
+- :func:`canonical_bytes` dispatches on the exact type and inlines the
+  dominant shapes (str/bytes/int leaves inside flat tuples), so the
+  common ``("coin", a, b, c)``-style payload encodes without per-element
+  function calls; subclasses and ``to_canonical`` objects fall back to
+  the original recursive path.
+- :func:`hash_obj_cached` memoizes digests of *hashable, immutable*
+  payloads in a bounded content-addressed table.  Protocol payloads that
+  every replica re-derives per message (the ACCEPT payload of a consensus
+  instance, for example) hash once per content instead of once per hop.
+
+Both caches sit behind :func:`set_caches_enabled` — the escape hatch used
+by the determinism tests to prove cached and uncached runs produce
+byte-identical exports — and report hit/miss counts via
+:func:`cache_stats` (surfaced as ``digest_cache_hits``/``_misses`` run
+metrics).  The verify cache of :class:`repro.crypto.keys.KeyRegistry`
+shares the same switch and counter table.
 """
 
 from __future__ import annotations
@@ -13,23 +37,132 @@ from typing import Any
 
 from repro.errors import CryptoError
 
-__all__ = ["digest", "digest_hex", "canonical_bytes", "hash_obj", "EMPTY_DIGEST"]
+__all__ = [
+    "digest",
+    "digest_hex",
+    "canonical_bytes",
+    "hash_obj",
+    "hash_obj_cached",
+    "EMPTY_DIGEST",
+    "set_caches_enabled",
+    "caches_enabled",
+    "cache_stats",
+    "reset_cache_stats",
+    "clear_caches",
+    "register_cache",
+    "CACHE_COUNTERS",
+]
+
+_sha256 = hashlib.sha256
 
 
 def digest(data: bytes) -> bytes:
     """SHA-256 digest of raw bytes."""
-    return hashlib.sha256(data).digest()
+    return _sha256(data).digest()
 
 
 def digest_hex(data: bytes) -> str:
-    return hashlib.sha256(data).hexdigest()
+    return _sha256(data).hexdigest()
 
 
 #: Digest of the empty byte string — used as ``hash(∅)`` for the genesis
 #: block's previous-hash field (Algorithm 1, line 6).
 EMPTY_DIGEST = digest(b"")
 
+_pack_u32 = struct.Struct(">I").pack
+_pack_f64 = struct.Struct(">d").pack
 
+
+# ----------------------------------------------------------------------
+# Cache switch and statistics
+# ----------------------------------------------------------------------
+#: Cross-module cache counter table.  ``repro.crypto.keys`` records its
+#: signature-verify cache here too, so one snapshot covers all crypto
+#: caches; the bench harness diffs it around a run and exposes the deltas
+#: as run metrics.
+CACHE_COUNTERS: dict[str, int] = {
+    "digest_cache_hits": 0,
+    "digest_cache_misses": 0,
+    "verify_cache_hits": 0,
+    "verify_cache_misses": 0,
+}
+
+_caches_enabled = True
+
+#: Bound on the content-addressed digest memo (FIFO eviction of the older
+#: half when full — entries are tiny tuples and digests).
+_MEMO_MAX = 16384
+_memo: dict[Any, bytes] = {}
+
+#: Satellite memo tables (e.g. SMaRtCoin's coin-id memo) registered so the
+#: master switch clears them all at once.
+_registered_caches: list[dict] = []
+
+#: Interning tables for encoded int / short-str *elements*.  Unlike the
+#: digest memo these cache an encoding, not a result: the bytes stored are
+#: exactly what :func:`_encode` would produce, so they cannot affect output
+#: even in principle.  They still honor the master switch (stores are gated
+#: on ``_caches_enabled`` and disabling clears them) so the determinism
+#: tests exercise a genuinely cache-free encoder.  Client ids, request ids
+#: and tag strings ("coin", "accept", addresses) recur across hundreds of
+#: thousands of otherwise-unique payloads, which is where encoding time
+#: goes on a Table I run.
+_INTERN_MAX = 4096
+_INTERN_STR_LEN = 24
+_int_enc: dict[int, bytes] = {}
+_str_enc: dict[str, bytes] = {}
+
+
+def register_cache(table: dict) -> dict:
+    """Register an external memo table to be cleared whenever the caches
+    are disabled.  Returns the table for inline use."""
+    _registered_caches.append(table)
+    return table
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Master switch for the crypto caches (digest memo, per-object digest
+    slots, signature verify cache, registered satellite memos).  Disabling
+    clears the memos so a later re-enable starts cold; used by tests to
+    prove determinism under caching."""
+    global _caches_enabled
+    _caches_enabled = bool(enabled)
+    if not _caches_enabled:
+        clear_caches()
+
+
+def clear_caches() -> None:
+    """Empty every memo table (digest memo, interning tables, registered
+    satellite memos) without touching the enabled flag or the counters.
+
+    The bench harness calls this at the start of each run so per-run cache
+    hit/miss deltas are cold-start deterministic — a run's reported metrics
+    must not depend on which runs happened earlier in the same process."""
+    _memo.clear()
+    _int_enc.clear()
+    _str_enc.clear()
+    for table in _registered_caches:
+        table.clear()
+
+
+def caches_enabled() -> bool:
+    return _caches_enabled
+
+
+def cache_stats() -> dict[str, int]:
+    """Copy of the cumulative cache counters (process-wide; diff around a
+    run for per-run numbers)."""
+    return dict(CACHE_COUNTERS)
+
+
+def reset_cache_stats() -> None:
+    for key in CACHE_COUNTERS:
+        CACHE_COUNTERS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding
+# ----------------------------------------------------------------------
 def canonical_bytes(obj: Any) -> bytes:
     """Deterministically encode nested Python values to bytes.
 
@@ -44,6 +177,53 @@ def canonical_bytes(obj: Any) -> bytes:
 
 
 def _encode(obj: Any, out: bytearray) -> None:
+    # Exact-type dispatch with the dominant shapes inlined: protocol
+    # payloads are overwhelmingly flat tuples of str/int/bytes, which this
+    # loop encodes without a function call per element.  Anything else
+    # (bool/None/float/dict, subclasses, to_canonical objects) takes the
+    # general path; the bytes produced are identical either way.
+    t = obj.__class__
+    if t is tuple or t is list:
+        out += b"L" + _pack_u32(len(obj))
+        for item in obj:
+            it = item.__class__
+            if it is str:
+                enc = _str_enc.get(item)
+                if enc is None:
+                    body = item.encode("utf-8")
+                    enc = b"S" + _pack_u32(len(body)) + body
+                    if (_caches_enabled and len(item) <= _INTERN_STR_LEN
+                            and len(_str_enc) < _INTERN_MAX):
+                        _str_enc[item] = enc
+                out += enc
+            elif it is int:
+                enc = _int_enc.get(item)
+                if enc is None:
+                    body = str(item).encode()
+                    enc = b"I" + _pack_u32(len(body)) + body
+                    if _caches_enabled and len(_int_enc) < _INTERN_MAX:
+                        _int_enc[item] = enc
+                out += enc
+            elif it is bytes:
+                out += b"B" + _pack_u32(len(item)) + item
+            else:
+                _encode(item, out)
+    elif t is str:
+        body = obj.encode("utf-8")
+        out += b"S" + _pack_u32(len(body)) + body
+    elif t is bytes:
+        out += b"B" + _pack_u32(len(obj)) + obj
+    elif t is int:
+        body = str(obj).encode()
+        out += b"I" + _pack_u32(len(body)) + body
+    else:
+        _encode_general(obj, out)
+
+
+def _encode_general(obj: Any, out: bytearray) -> None:
+    # The original isinstance chain: handles bool/None/float/dict, the
+    # subclasses the fast path deliberately skips (IntEnum, str subclasses)
+    # and objects exposing ``to_canonical``.
     if obj is None:
         out += b"N"
     elif obj is True:
@@ -52,21 +232,21 @@ def _encode(obj: Any, out: bytearray) -> None:
         out += b"F"
     elif isinstance(obj, int):
         body = str(obj).encode()
-        out += b"I" + struct.pack(">I", len(body)) + body
+        out += b"I" + _pack_u32(len(body)) + body
     elif isinstance(obj, float):
-        out += b"D" + struct.pack(">d", obj)
+        out += b"D" + _pack_f64(obj)
     elif isinstance(obj, str):
         body = obj.encode("utf-8")
-        out += b"S" + struct.pack(">I", len(body)) + body
+        out += b"S" + _pack_u32(len(body)) + body
     elif isinstance(obj, bytes):
-        out += b"B" + struct.pack(">I", len(obj)) + obj
+        out += b"B" + _pack_u32(len(obj)) + obj
     elif isinstance(obj, (tuple, list)):
-        out += b"L" + struct.pack(">I", len(obj))
+        out += b"L" + _pack_u32(len(obj))
         for item in obj:
             _encode(item, out)
     elif isinstance(obj, dict):
         items = sorted(obj.items(), key=lambda kv: canonical_bytes(kv[0]))
-        out += b"M" + struct.pack(">I", len(items))
+        out += b"M" + _pack_u32(len(items))
         for key, value in items:
             _encode(key, out)
             _encode(value, out)
@@ -78,4 +258,37 @@ def _encode(obj: Any, out: bytearray) -> None:
 
 def hash_obj(obj: Any) -> bytes:
     """SHA-256 over the canonical encoding of ``obj``."""
-    return digest(canonical_bytes(obj))
+    out = bytearray()
+    _encode(obj, out)
+    return _sha256(out).digest()
+
+
+def hash_obj_cached(obj: Any) -> bytes:
+    """:func:`hash_obj` through the bounded content-addressed memo.
+
+    ``obj`` must be hashable *and treated as immutable* — use this only for
+    value-type payloads (tuples of primitives).  Repeated protocol
+    payloads (an instance's ACCEPT payload re-derived by every receiver)
+    hash once per content instead of once per hop.
+
+    Like ``functools.lru_cache``, the memo keys by equality, so
+    numerically-equal values of different types share an entry (``1`` /
+    ``True`` / ``1.0``) even though their canonical encodings differ.  Only
+    use this for payload shapes with fixed field types — every call site in
+    this repo passes ``(str, int, bytes)`` tuples; use :func:`hash_obj` for
+    anything type-ambiguous.
+    """
+    if not _caches_enabled:
+        return hash_obj(obj)
+    cached = _memo.get(obj)
+    if cached is not None:
+        CACHE_COUNTERS["digest_cache_hits"] += 1
+        return cached
+    CACHE_COUNTERS["digest_cache_misses"] += 1
+    value = hash_obj(obj)
+    if len(_memo) >= _MEMO_MAX:
+        # FIFO eviction of the older half (insertion order is kept by dict).
+        for key in list(_memo)[: _MEMO_MAX // 2]:
+            del _memo[key]
+    _memo[obj] = value
+    return value

@@ -28,6 +28,7 @@ import hashlib
 import itertools
 from dataclasses import dataclass
 
+from repro.crypto import hashing as _hashing
 from repro.errors import CryptoError
 
 __all__ = ["Signature", "KeyPair", "KeyRegistry", "CryptoCosts"]
@@ -89,10 +90,19 @@ class KeyRegistry:
     a reference to it grants no forging power to protocol code.
     """
 
+    #: Bound on the per-registry verify cache; the quorum working set of a
+    #: Table-scale run is a few thousand distinct (key, payload) pairs.
+    VERIFY_CACHE_MAX = 8192
+
     def __init__(self, seed: int = 0):
         self._counter = itertools.count(1)
         self._master = seed
         self._verification: dict[str, bytes] = {}
+        # (public, data, sig value) -> bool.  Safe to memoize because a
+        # key's verification seed never changes once generated; results are
+        # cached only for *known* keys, so a signature probed before its key
+        # registers is re-checked (never a stale False).
+        self._verify_cache: dict[tuple[str, bytes, bytes], bool] = {}
 
     def generate(self, label: str = "") -> KeyPair:
         """Create a fresh key pair."""
@@ -103,9 +113,33 @@ class KeyRegistry:
         return KeyPair(self, seed, public, label or f"key-{index}")
 
     def verify(self, public: str, data: bytes, signature: Signature) -> bool:
-        """Check ``signature`` over ``data`` against ``public``."""
+        """Check ``signature`` over ``data`` against ``public``.
+
+        Results for known keys are memoized: the same certificate signature
+        is re-checked by the replica, the PERSIST tally, the auditor and the
+        third-party verifier, and the underlying hash only needs computing
+        once.  The modeled CPU time (:class:`CryptoCosts`) is charged by the
+        caller regardless, so caching never changes simulated timing.
+        """
         if signature.signer != public:
             return False
+        if _hashing.caches_enabled():
+            key = (public, data, signature.value)
+            cached = self._verify_cache.get(key)
+            if cached is not None:
+                _hashing.CACHE_COUNTERS["verify_cache_hits"] += 1
+                return cached
+            seed = self._verification.get(public)
+            if seed is None:
+                # Unknown key: do not cache — it may register later.
+                return False
+            _hashing.CACHE_COUNTERS["verify_cache_misses"] += 1
+            result = hashlib.sha256(seed + data).digest() == signature.value
+            if len(self._verify_cache) >= self.VERIFY_CACHE_MAX:
+                for old in list(self._verify_cache)[: self.VERIFY_CACHE_MAX // 2]:
+                    del self._verify_cache[old]
+            self._verify_cache[key] = result
+            return result
         seed = self._verification.get(public)
         if seed is None:
             return False

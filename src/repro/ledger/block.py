@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto import hashing
 from repro.crypto.hashing import hash_obj
 from repro.crypto.merkle import MerkleTree, merkle_root
 from repro.crypto.keys import Signature
@@ -75,7 +76,22 @@ class BlockHeader:
     hash_last_block: bytes
 
     def digest(self) -> bytes:
-        return hash_obj(self.to_canonical())
+        """SHA-256 of the canonical header.
+
+        Headers are immutable, and the digest is re-derived on every PERSIST
+        vote, chain append and certificate check — so the first computation
+        is stored on the instance (``object.__setattr__`` because the
+        dataclass is frozen)."""
+        if not hashing.caches_enabled():
+            return hash_obj(self.to_canonical())
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            hashing.CACHE_COUNTERS["digest_cache_hits"] += 1
+            return cached
+        hashing.CACHE_COUNTERS["digest_cache_misses"] += 1
+        value = hash_obj(self.to_canonical())
+        object.__setattr__(self, "_digest", value)
+        return value
 
     def to_canonical(self) -> tuple:
         return ("hdr", self.number, self.last_reconfig, self.last_checkpoint,

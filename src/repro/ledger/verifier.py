@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.crypto.hashing import EMPTY_DIGEST, hash_obj
+from repro.crypto.hashing import EMPTY_DIGEST, hash_obj, hash_obj_cached
 from repro.crypto.keys import KeyRegistry
 from repro.errors import LedgerError, VerificationError
 from repro.ledger.block import Block, KeyAnnouncement
@@ -231,8 +231,8 @@ class ChainVerifier:
                     f"recorded-key signatures, needs {view.cert_quorum}")
         else:
             proof = block.consensus_proof
-            payload = hash_obj(("accept", block.body.consensus_id,
-                                block.body.batch_hash))
+            payload = hash_obj_cached(("accept", block.body.consensus_id,
+                                       block.body.batch_hash))
             valid = 0
             for replica_id, signature in proof.items():
                 public = keys.get(replica_id)

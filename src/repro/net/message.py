@@ -31,11 +31,20 @@ class Message:
     size: int = field(default=64, kw_only=True)
     msg_id: int = field(default_factory=lambda: next(_message_ids), kw_only=True)
 
+    # Computed lazily on first wire_size() call; a broadcast shares one
+    # Message object across all destinations, so the sum is reused per hop.
+    _wire: int | None = field(default=None, init=False, repr=False, compare=False)
+
     @property
     def kind(self) -> str:
         """Short type tag used by traces and tests."""
         return type(self).__name__
 
     def wire_size(self) -> int:
-        """Bytes occupying the link, including framing overhead."""
-        return self.size + HEADER_OVERHEAD_BYTES
+        """Bytes occupying the link, including framing overhead.
+
+        Cached after the first call — ``size`` is fixed at construction."""
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = self.size + HEADER_OVERHEAD_BYTES
+        return wire

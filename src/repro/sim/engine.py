@@ -11,6 +11,15 @@ Two runs with the same seed and the same schedule of calls produce identical
 histories.  Ties in event time are broken by insertion order (a monotonically
 increasing sequence number), and all randomness flows through ``sim.rng``, a
 ``random.Random`` seeded at construction.
+
+Heap hygiene (see docs/performance.md)
+--------------------------------------
+Protocol timeouts (leader-change and client-resend timers) cancel far more
+events than they fire, so the heap accumulates tombstones.  The simulator
+keeps a live-event counter (``pending`` is O(1)), lazily pops tombstones at
+the heap top (``peek_time`` is amortized O(log n)), and compacts the heap in
+place when cancelled entries outnumber live ones.  Heap entries are plain
+``(time, seq, event)`` tuples so sift comparisons stay in C.
 """
 
 from __future__ import annotations
@@ -24,6 +33,10 @@ from repro.obs import Observability
 
 __all__ = ["Event", "Simulator"]
 
+#: Compaction hysteresis: never compact tiny heaps, where the rebuild
+#: overhead dwarfs any scan savings.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class Event:
     """Handle to a scheduled callback.
@@ -32,22 +45,31 @@ class Event:
     callback from firing (used pervasively for protocol timeouts).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Simulator | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent this event from firing.  Safe to call more than once."""
+        """Prevent this event from firing.  Safe to call more than once, and
+        a no-op after the event has fired (so late cancels can never corrupt
+        the simulator's live-event accounting)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         # Drop references so cancelled timers do not pin protocol state alive
         # while they sit in the heap waiting to be popped.
         self.fn = _noop
         self.args = ()
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -55,7 +77,8 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("fired" if self.fired
+                 else "cancelled" if self.cancelled else "pending")
         return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
@@ -95,11 +118,14 @@ class Simulator:
         self.rng = random.Random(seed)
         self.seed = seed
         self.obs = obs if obs is not None else Observability()
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
         self._executed: int = 0
+        self._live: int = 0
+        self._tombstones: int = 0
+        self._compactions: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,7 +134,14 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # Inlined schedule_at (delay >= 0 implies time >= now): this is the
+        # hottest entry point into the heap, called once or more per event.
+        time = self.now + delay
+        self._seq += 1
+        event = Event(time, self._seq, fn, args, self)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._live += 1
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
@@ -117,13 +150,28 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self.now}"
             )
         self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        event = Event(time, self._seq, fn, args, self)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._live += 1
         return event
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current time, after pending same-time events."""
         return self.schedule(0.0, fn, *args)
+
+    def _note_cancel(self) -> None:
+        """Counter upkeep for a newly cancelled event, plus opportunistic
+        compaction once tombstones outnumber live entries."""
+        self._live -= 1
+        self._tombstones += 1
+        heap = self._heap
+        if (self._tombstones > _COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 > len(heap)):
+            # In place: ``run``/``step`` hold a local alias to this list.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -142,16 +190,20 @@ class Simulator:
         self._stopped = False
         executed_now = 0
         heap = self._heap
+        pop = heapq.heappop
         try:
             while heap and not self._stopped:
-                event = heap[0]
+                time, _seq, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(heap)
+                    pop(heap)
+                    self._tombstones -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(heap)
-                self.now = event.time
+                pop(heap)
+                self._live -= 1
+                event.fired = True
+                self.now = time
                 event.fn(*event.args)
                 self._executed += 1
                 executed_now += 1
@@ -166,10 +218,13 @@ class Simulator:
         """Execute a single event.  Returns ``False`` when nothing is pending."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
-            self.now = event.time
+            self._live -= 1
+            event.fired = True
+            self.now = time
             event.fn(*event.args)
             self._executed += 1
             return True
@@ -184,24 +239,44 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled tombstones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled, non-fired) events still queued."""
+        return self._live
 
     @property
     def executed(self) -> int:
         """Total events executed so far."""
         return self._executed
 
+    @property
+    def tombstones(self) -> int:
+        """Cancelled entries currently sitting in the heap."""
+        return self._tombstones
+
+    @property
+    def compactions(self) -> int:
+        """Number of tombstone compaction passes performed."""
+        return self._compactions
+
     def peek_time(self) -> float | None:
-        """Time of the next live event, or ``None`` when the heap is empty."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
+        """Time of the next live event, or ``None`` when the heap is empty.
+
+        Tombstones at the heap top are popped lazily, so this is amortized
+        O(log n) — each cancelled entry is removed at most once."""
+        heap = self._heap
+        while heap:
+            if heap[0][2].cancelled:
+                heapq.heappop(heap)
+                self._tombstones -= 1
+                continue
+            return heap[0][0]
         return None
 
     def drain(self) -> Iterable[Event]:  # pragma: no cover - debugging aid
         """Remove and yield all pending events without executing them."""
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
+            _time, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self._tombstones -= 1
+            else:
+                self._live -= 1
                 yield event

@@ -90,6 +90,13 @@ class Resource:
             raise SimulationError("service time must be non-negative")
         if self._observed:
             self._integrate_queue()
+        if self._busy < self.servers and not self._queue:
+            # Idle-server fast path: start immediately, skip the queue.
+            self._busy += 1
+            self.busy_time += service_time
+            self.sim.schedule(service_time, self._complete,
+                              _Job(service_time, fn, args))
+            return
         self._queue.append(_Job(service_time, fn, args))
         self._dispatch()
 

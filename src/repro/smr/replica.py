@@ -34,7 +34,7 @@ from repro.consensus.messages import (
     WriteMsg,
     batch_wire_size,
 )
-from repro.crypto.hashing import hash_obj
+from repro.crypto.hashing import hash_obj, hash_obj_cached
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.errors import ConsensusError
 from repro.net.message import Message
@@ -273,13 +273,18 @@ class ModSmartReplica:
 
     def ingest_requests(self, requests: list[ClientRequest]) -> None:
         """Admit new client requests: dedupe, verify (per mode), enqueue."""
-        fresh = [r for r in requests if r.key not in self.seen]
+        seen = self.seen
+        pending = self.pending
+        fresh = []
+        for req in requests:
+            key = req.key
+            if key not in seen:
+                seen.add(key)
+                pending[key] = req
+                fresh.append(req)
         if not fresh:
             return
         mode = self.config.verification
-        for req in fresh:
-            self.seen.add(req.key)
-            self.pending[req.key] = req
         if mode is VerificationMode.PARALLEL:
             to_verify = [r.key for r in fresh if r.signed]
             instant = [r.key for r in fresh if not r.signed]
@@ -336,12 +341,14 @@ class ModSmartReplica:
         special request.
         """
         limit = self.config.batch_size
+        inflight = self.inflight
+        verified = self.verified
+        parallel = self.config.verification is VerificationMode.PARALLEL
         out: list[ClientRequest] = []
         for key, req in self.pending.items():
-            if key in self.inflight:
+            if key in inflight:
                 continue
-            if req.signed and key not in self.verified \
-                    and self.config.verification is VerificationMode.PARALLEL:
+            if parallel and req.signed and key not in verified:
                 continue
             if req.special:
                 if not out:
@@ -496,7 +503,9 @@ class ModSmartReplica:
     def _send_accept(self, instance: ConsensusInstance, write: WriteMsg) -> None:
         instance.record_accept_sent(write.regency)
         key = self.consensus_key()
-        payload = hash_obj(("accept", write.cid, write.batch_hash))
+        # Memoized: every replica derives the same payload for this (cid,
+        # hash) — once per simulation instead of once per replica per vote.
+        payload = hash_obj_cached(("accept", write.cid, write.batch_hash))
         # Signing happens on the crypto pool (it would block a protocol
         # thread, not the state machine).
         def signed() -> None:
@@ -518,7 +527,7 @@ class ModSmartReplica:
         public = self.keydir.lookup(self.cv.view_id, src)
         if public is None:
             return
-        payload = hash_obj(("accept", msg.cid, msg.batch_hash))
+        payload = hash_obj_cached(("accept", msg.cid, msg.batch_hash))
         # Verify on the pool, then tally.
         def verified() -> None:
             if not self.registry.verify(public, payload, msg.signature):
@@ -606,8 +615,13 @@ class ModSmartReplica:
             result = results.get(req.key)
             if result is None:
                 continue
-            by_station.setdefault(req.station, {})[req.key] = result
-            sizes[req.station] = sizes.get(req.station, 0) + req.reply_size
+            station = req.station
+            bucket = by_station.get(station)
+            if bucket is None:
+                bucket = by_station[station] = {}
+                sizes[station] = 0
+            bucket[req.key] = result
+            sizes[station] += req.reply_size
         for station, payload in by_station.items():
             msg = ReplyBatchMsg(replica_id=self.id, results=payload,
                                 block_number=block_number,

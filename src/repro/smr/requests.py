@@ -19,7 +19,7 @@ __all__ = [
 RequestKey = tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientRequest:
     """One client operation submitted for total ordering.
 
@@ -44,13 +44,23 @@ class ClientRequest:
     #: Special ordered operations that bypass the application (view
     #: reconfigurations); empty string for normal requests.
     special: str = ""
+    #: (client_id, req_id) — precomputed: this pair is the dict key for
+    #: every pending/ledger/reply lookup, making it the single most-read
+    #: attribute in a run (millions of accesses), so a property is too slow.
+    key: RequestKey = field(init=False, repr=False, compare=False)
+    #: ``repr(op)`` — precomputed once; re-derived per replica otherwise
+    #: (canonical encoding, naive block payloads).
+    op_repr: str = field(init=False, repr=False, compare=False)
+    _canonical: tuple = field(init=False, repr=False, compare=False)
 
-    @property
-    def key(self) -> RequestKey:
-        return (self.client_id, self.req_id)
+    def __post_init__(self) -> None:
+        self.key = (self.client_id, self.req_id)
+        self.op_repr = repr(self.op)
+        self._canonical = ("req", self.client_id, self.req_id, self.special,
+                           self.op_repr)
 
     def to_canonical(self) -> tuple:
-        return ("req", self.client_id, self.req_id, self.special, repr(self.op))
+        return self._canonical
 
 
 @dataclass

@@ -6,9 +6,14 @@ from hypothesis import strategies as st
 
 from repro.crypto.hashing import (
     EMPTY_DIGEST,
+    cache_stats,
+    caches_enabled,
     canonical_bytes,
+    clear_caches,
     digest,
     hash_obj,
+    hash_obj_cached,
+    set_caches_enabled,
 )
 from repro.crypto.keys import KeyPair, KeyRegistry, Signature
 from repro.crypto.merkle import MerkleTree, merkle_root
@@ -115,6 +120,116 @@ class TestCanonicalEncoding:
         # Same value encodes identically; a structural wrapper changes it.
         assert canonical_bytes(value) == canonical_bytes(value)
         assert canonical_bytes([value]) != canonical_bytes([[value]])
+
+
+class TestCryptoCaches:
+    """The digest/verify caches: counters, escape hatch, byte parity."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache_state(self):
+        set_caches_enabled(True)
+        clear_caches()
+        yield
+        set_caches_enabled(True)
+        clear_caches()
+
+    def test_cached_digest_matches_uncached(self):
+        payload = ("accept", 7, b"batch-digest")
+        assert hash_obj_cached(payload) == hash_obj(payload)
+        # Second call takes the hit path; bytes must not change.
+        assert hash_obj_cached(payload) == hash_obj(payload)
+
+    def test_hit_and_miss_counters(self):
+        before = cache_stats()
+        payload = ("coin", 3, 11, 0)
+        hash_obj_cached(payload)
+        hash_obj_cached(payload)
+        hash_obj_cached(payload)
+        after = cache_stats()
+        assert after["digest_cache_misses"] - before["digest_cache_misses"] == 1
+        assert after["digest_cache_hits"] - before["digest_cache_hits"] == 2
+
+    def test_escape_hatch_disables_counters_and_memo(self):
+        payload = ("req", 1, 2, "", "op")
+        hash_obj_cached(payload)
+        set_caches_enabled(False)
+        assert not caches_enabled()
+        before = cache_stats()
+        assert hash_obj_cached(payload) == hash_obj(payload)
+        assert hash_obj_cached(payload) == hash_obj(payload)
+        # Disabled: plain recompute, no counter movement.
+        assert cache_stats() == before
+
+    def test_bytes_identical_with_and_without_caches(self):
+        # Repeated ints and short strings exercise the interning tables;
+        # the outer tuples are all distinct, as in real payloads.
+        samples = [("coin", client, req, idx, "addr-%d" % (client % 3))
+                   for client in range(20)
+                   for req in range(3)
+                   for idx in (0, 1)]
+        samples += [(True, False, None, 1, 0, -1, 2**70, 3.5, b"x", "y"),
+                    ((1, "nest"), [2, "list"], {"k": 1, 3: "v"})]
+        warm1 = [canonical_bytes(sample) for sample in samples]
+        warm2 = [canonical_bytes(sample) for sample in samples]  # all-hit pass
+        set_caches_enabled(False)
+        cold = [canonical_bytes(sample) for sample in samples]
+        assert warm1 == warm2 == cold
+
+    def test_interning_never_conflates_bool_and_int(self):
+        assert canonical_bytes((1,)) != canonical_bytes((True,))
+        assert canonical_bytes((0,)) != canonical_bytes((False,))
+        # ... in either order of first encounter.
+        clear_caches()
+        assert canonical_bytes((True,)) != canonical_bytes((1,))
+
+    def test_int_subclass_uses_general_path(self):
+        class Code(int):
+            pass
+
+        # Same canonical bytes as the plain int — the fast path must not
+        # treat exact-type dispatch as a semantic difference.
+        assert canonical_bytes((Code(7),)) == canonical_bytes((7,))
+
+    def test_clear_caches_resets_memo_but_not_counters(self):
+        payload = ("persist", 5, b"cert")
+        hash_obj_cached(payload)
+        hash_obj_cached(payload)
+        stats = cache_stats()
+        clear_caches()
+        assert cache_stats() == stats
+        before = cache_stats()
+        hash_obj_cached(payload)  # cold again after clear
+        after = cache_stats()
+        assert after["digest_cache_misses"] - before["digest_cache_misses"] == 1
+
+    def test_verify_cache_counters(self):
+        registry = KeyRegistry(1)
+        key = registry.generate("alice")
+        signature = key.sign(b"payload")
+        before = cache_stats()
+        assert registry.verify(key.public, b"payload", signature)
+        assert registry.verify(key.public, b"payload", signature)
+        after = cache_stats()
+        assert after["verify_cache_misses"] - before["verify_cache_misses"] == 1
+        assert after["verify_cache_hits"] - before["verify_cache_hits"] == 1
+
+    def test_verify_unknown_key_not_cached(self):
+        registry = KeyRegistry(1)
+        other = KeyRegistry(2)
+        key = other.generate("bob")
+        signature = key.sign(b"payload")
+        assert not registry.verify(key.public, b"payload", signature)
+        # Unknown keys are never memoized — the key may register later and
+        # a cached False would then be stale.
+        assert registry._verify_cache == {}
+
+    def test_verify_disabled_still_correct(self):
+        registry = KeyRegistry(1)
+        key = registry.generate("alice")
+        signature = key.sign(b"payload")
+        set_caches_enabled(False)
+        assert registry.verify(key.public, b"payload", signature)
+        assert not registry.verify(key.public, b"other", signature)
 
 
 class TestMerkle:

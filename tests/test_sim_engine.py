@@ -148,6 +148,74 @@ class TestScheduling:
         assert sim.peek_time() == 2.0
 
 
+class TestHeapHygiene:
+    """Tombstone accounting: cancels must never corrupt the live counter."""
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.0)
+        assert event.fired
+        assert sim.pending == 1
+        event.cancel()  # late cancel: must not decrement live accounting
+        event.cancel()
+        assert sim.pending == 1
+        assert sim.tombstones == 0
+        sim.run()
+        assert sim.executed == 2
+
+    def test_double_cancel_counts_one_tombstone(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+        assert sim.tombstones == 1
+
+    def test_pending_tracks_live_events_only(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending == 6
+        assert sim.tombstones == 4
+        sim.run()
+        assert sim.executed == 6
+        assert sim.pending == 0
+
+    def test_compaction_triggers_and_preserves_live_events(self):
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.schedule(float(i + 1), out.append, i)
+        doomed = [sim.schedule(100.0, lambda: out.append(-1))
+                  for _ in range(300)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending == 5
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+        assert sim.executed == 5
+
+    def test_peek_time_pops_tombstones_lazily(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.tombstones == 1
+        assert sim.peek_time() is None
+        assert sim.tombstones == 0
+
+    def test_cancelled_event_drops_callback_references(self):
+        sim = Simulator()
+        payload = object()
+        event = sim.schedule(1.0, lambda obj: None, payload)
+        event.cancel()
+        assert event.args == ()
+
+
 class TestResource:
     def test_single_server_serializes(self):
         sim = Simulator()
