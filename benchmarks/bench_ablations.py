@@ -13,7 +13,7 @@ Beyond the paper's own tables/figures, these isolate three mechanisms:
 
 import pytest
 
-from repro.bench.harness import run_dura_smart, run_smartchain
+from repro.bench.harness import Scenario, run
 from repro.config import (
     PersistenceVariant,
     SMRConfig,
@@ -155,10 +155,11 @@ def test_ablation_checkpoint_period_throughput(benchmark, table, period):
     """Frequent checkpoints cost steady-state throughput (the dips of
     Figure 7), the price paid for the fast joins of Figure 8."""
     result = benchmark.pedantic(
-        lambda: run_smartchain(PersistenceVariant.STRONG, StorageMode.SYNC,
-                               VerificationMode.PARALLEL, clients=CLIENTS,
-                               duration=DURATION, seed=SEED,
-                               checkpoint_period=period),
+        lambda: run(Scenario(
+            system="smartchain", variant=PersistenceVariant.STRONG,
+            storage=StorageMode.SYNC, verification=VerificationMode.PARALLEL,
+            clients=CLIENTS, duration=DURATION, seed=SEED,
+            checkpoint_period=period)),
         rounds=1, iterations=1)
     _ckpt[period] = result.throughput
     table.add(f"strong variant, checkpoint period z={period}",

@@ -15,7 +15,7 @@ Shapes to reproduce (n=4 anchors from the text):
 
 import pytest
 
-from repro.bench.harness import run_dura_smart, run_smartchain
+from repro.bench.harness import Scenario, run
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
 
 from conftest import CLIENTS, DURATION, FULL, SEED
@@ -46,12 +46,15 @@ def _run(system: str, setup: str, n: int):
     verification, storage = SETUPS[setup]
     clients = CLIENTS
     if system == "dura":
-        return run_dura_smart(verification, storage, n=n, clients=clients,
-                              duration=DURATION, seed=SEED)
+        return run(Scenario(
+            system="dura", verification=verification, storage=storage, n=n,
+            clients=clients, duration=DURATION, seed=SEED))
     variant = (PersistenceVariant.WEAK if system == "weak"
                else PersistenceVariant.STRONG)
-    return run_smartchain(variant, storage, verification, n=n,
-                          clients=clients, duration=DURATION, seed=SEED)
+    return run(Scenario(
+        system="smartchain", variant=variant, storage=storage,
+        verification=verification, n=n, clients=clients, duration=DURATION,
+        seed=SEED))
 
 
 @pytest.mark.parametrize("n", SIZES)

@@ -17,7 +17,7 @@ Dura-SMaRt ≈ 3.6× the best naive setup.  MINT rows behave equivalently
 
 import pytest
 
-from repro.bench.harness import run_dura_smart, run_naive_smartcoin
+from repro.bench.harness import Scenario, run
 from repro.config import StorageMode, VerificationMode
 
 from conftest import CLIENTS, DURATION, SEED
@@ -41,9 +41,9 @@ _results = {}
 
 
 def _naive(verification, storage, workload="spend"):
-    return run_naive_smartcoin(verification, storage, clients=CLIENTS,
-                               duration=DURATION, seed=SEED,
-                               workload=workload)
+    return run(Scenario(
+        system="naive", verification=verification, storage=storage,
+        clients=CLIENTS, duration=DURATION, seed=SEED, workload=workload))
 
 
 @pytest.mark.parametrize("verification,storage", [
@@ -66,7 +66,8 @@ def test_naive_smartcoin(benchmark, table, verification, storage):
 
 def test_dura_smart(benchmark, table):
     result = benchmark.pedantic(
-        lambda: run_dura_smart(clients=CLIENTS, duration=DURATION, seed=SEED),
+        lambda: run(Scenario(system="dura", clients=CLIENTS,
+                             duration=DURATION, seed=SEED)),
         rounds=1, iterations=1)
     _results["dura"] = result.throughput
     benchmark.extra_info["throughput_tx_s"] = result.throughput

@@ -15,11 +15,7 @@ within ~13% of weak.
 
 import pytest
 
-from repro.bench.harness import (
-    run_fabric,
-    run_smartchain,
-    run_tendermint,
-)
+from repro.bench.harness import Scenario, run
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
 
 from conftest import CLIENTS, DURATION, SEED
@@ -40,9 +36,10 @@ _results = {}
                                      PersistenceVariant.WEAK])
 def test_smartchain(benchmark, table, variant):
     result = benchmark.pedantic(
-        lambda: run_smartchain(variant, StorageMode.SYNC,
-                               VerificationMode.PARALLEL, clients=CLIENTS,
-                               duration=DURATION, seed=SEED),
+        lambda: run(Scenario(
+            system="smartchain", variant=variant, storage=StorageMode.SYNC,
+            verification=VerificationMode.PARALLEL, clients=CLIENTS,
+            duration=DURATION, seed=SEED)),
         rounds=1, iterations=1)
     _results[variant.value] = result
     paper_tput, paper_lat = PAPER[variant.value]
@@ -56,8 +53,9 @@ def test_smartchain(benchmark, table, variant):
 
 def test_tendermint(benchmark, table):
     result = benchmark.pedantic(
-        lambda: run_tendermint(clients=CLIENTS, duration=max(8.0, DURATION),
-                               seed=SEED),
+        lambda: run(Scenario(
+            system="tendermint", label="Tendermint", clients=CLIENTS,
+            duration=max(8.0, DURATION), seed=SEED)),
         rounds=1, iterations=1)
     _results["tendermint"] = result
     paper_tput, paper_lat = PAPER["tendermint"]
@@ -70,8 +68,9 @@ def test_tendermint(benchmark, table):
 
 def test_fabric(benchmark, table):
     result = benchmark.pedantic(
-        lambda: run_fabric(clients=CLIENTS, duration=max(8.0, DURATION),
-                           seed=SEED),
+        lambda: run(Scenario(
+            system="fabric", label="Hyperledger Fabric", clients=CLIENTS,
+            duration=max(8.0, DURATION), seed=SEED)),
         rounds=1, iterations=1)
     _results["fabric"] = result
     paper_tput, paper_lat = PAPER["fabric"]

@@ -15,13 +15,7 @@ Run:  python examples/throughput_comparison.py [--full]
 import sys
 import time
 
-from repro.bench.harness import (
-    run_dura_smart,
-    run_fabric,
-    run_naive_smartcoin,
-    run_smartchain,
-    run_tendermint,
-)
+from repro.bench.harness import Scenario, run
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
 
 
@@ -32,25 +26,32 @@ def main() -> None:
 
     experiments = [
         ("SMaRtCoin naive (seq verify, sync)",
-         lambda: run_naive_smartcoin(VerificationMode.SEQUENTIAL,
-                                     StorageMode.SYNC, clients=clients,
-                                     duration=duration)),
+         lambda: run(Scenario(system="naive",
+                              verification=VerificationMode.SEQUENTIAL,
+                              storage=StorageMode.SYNC, clients=clients,
+                              duration=duration))),
         ("SMaRtCoin naive (parallel verify, sync)",
-         lambda: run_naive_smartcoin(VerificationMode.PARALLEL,
-                                     StorageMode.SYNC, clients=clients,
-                                     duration=duration)),
+         lambda: run(Scenario(system="naive",
+                              verification=VerificationMode.PARALLEL,
+                              storage=StorageMode.SYNC, clients=clients,
+                              duration=duration))),
         ("Durable-SMaRt",
-         lambda: run_dura_smart(clients=clients, duration=duration)),
+         lambda: run(Scenario(system="dura", clients=clients,
+                              duration=duration))),
         ("SmartChain weak (1-Persistence)",
-         lambda: run_smartchain(PersistenceVariant.WEAK, clients=clients,
-                                duration=duration)),
+         lambda: run(Scenario(system="smartchain",
+                              variant=PersistenceVariant.WEAK,
+                              clients=clients, duration=duration))),
         ("SmartChain strong (0-Persistence)",
-         lambda: run_smartchain(PersistenceVariant.STRONG, clients=clients,
-                                duration=duration)),
+         lambda: run(Scenario(system="smartchain",
+                              variant=PersistenceVariant.STRONG,
+                              clients=clients, duration=duration))),
         ("Tendermint (simulated comparator)",
-         lambda: run_tendermint(clients=clients, duration=max(6.0, duration))),
+         lambda: run(Scenario(system="tendermint", clients=clients,
+                              duration=max(6.0, duration)))),
         ("Hyperledger Fabric (simulated comparator)",
-         lambda: run_fabric(clients=clients, duration=max(6.0, duration))),
+         lambda: run(Scenario(system="fabric", clients=clients,
+                              duration=max(6.0, duration)))),
     ]
 
     print(f"{clients} clients, {duration:.0f} simulated seconds per system\n")

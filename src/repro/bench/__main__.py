@@ -12,6 +12,8 @@ Examples::
     python -m repro.bench smartchain --trace out.json   # Perfetto trace
     python -m repro.bench table1 --audit                # online safety auditor
     python -m repro.bench table1 --check-against benchmarks/results/BENCH_table1.json
+    python -m repro.bench --engine fastbft              # engines head-to-head
+    python -m repro.bench smartchain --engine fastbft --faults equivocate --audit
 
 ``--report PATH`` runs every row with observability enabled and writes a
 machine-readable bench report (schema ``repro.obs/bench-report/v1``): the
@@ -48,15 +50,9 @@ import sys
 import dataclasses
 
 from repro.bench.calibration import calibration_report
-from repro.bench.harness import (
-    Scenario,
-    run_dura_smart,
-    run_fabric,
-    run_naive_smartcoin,
-    run_smartchain,
-    run_tendermint,
-)
+from repro.bench.harness import Scenario, run
 from repro.config import PersistenceVariant, StorageMode, VerificationMode
+from repro.consensus.engine import engine_names
 from repro.obs.audit import AuditError
 from repro.obs.compare import compare_reports
 from repro.bench.wallclock import format_profile, profile_stats
@@ -69,6 +65,8 @@ EXPERIMENTS = {
     "table2": ("4 rows", "Table II — SMARTCHAIN vs Tendermint vs Fabric"),
     "calibration": ("text", "anchor fit against the paper's numbers"),
     "smartchain": ("1 row", "one SMARTCHAIN config (--variant/--storage/--n)"),
+    "engines": ("2+ rows", "consensus engines head-to-head (--engine picks "
+                "the challenger)"),
 }
 
 
@@ -85,6 +83,7 @@ def _common(parser: argparse.ArgumentParser) -> None:
             ("--trace", {"metavar": "PATH"}),
             ("--events", {"metavar": "PATH"}),
             ("--faults", {"metavar": "PLAN"}),
+            ("--engine", {"metavar": "ENGINE"}),
             ("--profile", {"action": "store_true"}),
             ("--check-against", {"metavar": "BASELINE",
                                  "dest": "check_against"})):
@@ -137,8 +136,13 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument("--faults", metavar="PLAN", default=None,
                         help="inject a Byzantine fault plan into the run: a "
                              "named plan (see repro.faults.NAMED_PLANS), a "
-                             "JSON file path, or inline JSON (smartchain "
-                             "experiment only; combine with --audit)")
+                             "JSON file path, or inline JSON (smartchain/"
+                             "engines experiments only; combine with --audit)")
+    parser.add_argument("--engine", metavar="ENGINE", default=None,
+                        help="consensus engine key (one of: "
+                             f"{', '.join(engine_names())}); with no "
+                             "experiment, runs the engines head-to-head "
+                             "comparison against modsmart")
     parser.add_argument("--check-against", metavar="BASELINE", default=None,
                         dest="check_against",
                         help="compare the report against a saved baseline "
@@ -151,7 +155,7 @@ def _main(argv: list[str] | None = None) -> int:
     parser.set_defaults(clients=1200, duration=2.5, seed=1)
     sub = parser.add_subparsers(dest="experiment")
 
-    for name in ("table1", "table2", "calibration"):
+    for name in ("table1", "table2", "calibration", "engines"):
         p = sub.add_parser(name)
         _common(p)
 
@@ -166,8 +170,17 @@ def _main(argv: list[str] | None = None) -> int:
     if args.list_experiments:
         _print_experiment_list()
         return 0
+    if args.engine is not None and args.engine not in engine_names():
+        parser.error(f"unknown engine {args.engine!r}; registered engines: "
+                     f"{', '.join(engine_names())}")
     if args.experiment is None and not args.smoke:
-        parser.error("an experiment is required (or use --smoke/--list)")
+        if args.engine is not None:
+            # ``python -m repro.bench --engine fastbft``: the head-to-head
+            # engine comparison is the natural thing to run.
+            args.experiment = "engines"
+        else:
+            parser.error("an experiment is required "
+                         "(or use --smoke/--list/--engine)")
     if args.smoke and args.experiment is not None:
         parser.error("--smoke runs its own fixed row; drop the "
                      "experiment name")
@@ -188,10 +201,10 @@ def _main(argv: list[str] | None = None) -> int:
                 f"cannot load baseline {args.check_against}: {exc}")
     fault_plan = None
     if args.faults is not None:
-        if args.experiment != "smartchain":
-            parser.error("--faults needs the smartchain experiment "
-                         "(the comparators have no replica runtimes "
-                         "to compromise)")
+        if args.experiment not in ("smartchain", "engines"):
+            parser.error("--faults needs the smartchain or engines "
+                         "experiment (the comparators have no replica "
+                         "runtimes to compromise)")
         from repro.faults import FaultPlanError, load_plan
         try:  # resolve now so typos fail before the simulation starts
             fault_plan = load_plan(args.faults)
@@ -201,6 +214,7 @@ def _main(argv: list[str] | None = None) -> int:
     observe = (args.report is not None or args.smoke
                or args.trace is not None or args.events is not None
                or baseline is not None)
+    engine = args.engine or "modsmart"
     kwargs = dict(clients=args.clients, duration=args.duration,
                   seed=args.seed, observe=observe, audit=args.audit)
 
@@ -216,9 +230,10 @@ def _main(argv: list[str] | None = None) -> int:
         if args.smoke:
             experiment = "smoke"
             options = {"clients": 300, "duration": 2.0, "seed": args.seed}
-            rows = [run_smartchain(PersistenceVariant.STRONG,
-                                   StorageMode.SYNC,
-                                   observe=True, audit=args.audit, **options)]
+            rows = [run(Scenario(
+                system="smartchain", variant=PersistenceVariant.STRONG,
+                storage=StorageMode.SYNC, engine=engine,
+                observe=True, audit=args.audit, **options))]
         elif args.experiment == "calibration":
             print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
             for label, paper, measured, ratio in calibration_report(
@@ -233,30 +248,52 @@ def _main(argv: list[str] | None = None) -> int:
         elif args.experiment == "table1":
             experiment = "table1"
             rows = [
-                run_naive_smartcoin(VerificationMode.SEQUENTIAL,
-                                    StorageMode.SYNC, **kwargs),
-                run_naive_smartcoin(VerificationMode.SEQUENTIAL,
-                                    StorageMode.ASYNC, **kwargs),
-                run_naive_smartcoin(VerificationMode.PARALLEL,
-                                    StorageMode.SYNC, **kwargs),
-                run_naive_smartcoin(VerificationMode.PARALLEL,
-                                    StorageMode.ASYNC, **kwargs),
-                run_dura_smart(**kwargs),
+                run(Scenario(system="naive",
+                             verification=VerificationMode.SEQUENTIAL,
+                             storage=StorageMode.SYNC, engine=engine,
+                             **kwargs)),
+                run(Scenario(system="naive",
+                             verification=VerificationMode.SEQUENTIAL,
+                             storage=StorageMode.ASYNC, engine=engine,
+                             **kwargs)),
+                run(Scenario(system="naive",
+                             verification=VerificationMode.PARALLEL,
+                             storage=StorageMode.SYNC, engine=engine,
+                             **kwargs)),
+                run(Scenario(system="naive",
+                             verification=VerificationMode.PARALLEL,
+                             storage=StorageMode.ASYNC, engine=engine,
+                             **kwargs)),
+                run(Scenario(system="dura", engine=engine, **kwargs)),
             ]
         elif args.experiment == "table2":
             experiment = "table2"
+            long = {**kwargs, "duration": max(8.0, args.duration)}
             rows = [
-                run_smartchain(PersistenceVariant.STRONG, **kwargs),
-                run_smartchain(PersistenceVariant.WEAK, **kwargs),
-                run_tendermint(**{**kwargs,
-                                  "duration": max(8.0, args.duration)}),
-                run_fabric(**{**kwargs, "duration": max(8.0, args.duration)}),
+                run(Scenario(system="smartchain", engine=engine,
+                             variant=PersistenceVariant.STRONG, **kwargs)),
+                run(Scenario(system="smartchain", engine=engine,
+                             variant=PersistenceVariant.WEAK, **kwargs)),
+                run(Scenario(system="tendermint", **long)),
+                run(Scenario(system="fabric", **long)),
             ]
+        elif args.experiment == "engines":
+            # Table-II-style head-to-head: the same SMARTCHAIN scenario on
+            # each engine, only the agreement protocol differing.
+            experiment = "engines"
+            contenders = (engine_names() if engine == "modsmart"
+                          else ["modsmart", engine])
+            rows = [run(Scenario(system="smartchain", engine=contender,
+                                 variant=PersistenceVariant.STRONG,
+                                 storage=StorageMode.SYNC,
+                                 faults=fault_plan, **kwargs))
+                    for contender in contenders]
         else:  # smartchain
             experiment = "smartchain"
-            rows = [run_smartchain(
-                PersistenceVariant(args.variant), StorageMode(args.storage),
-                n=args.n, faults=fault_plan, **kwargs)]
+            rows = [run(Scenario(
+                system="smartchain", variant=PersistenceVariant(args.variant),
+                storage=StorageMode(args.storage), n=args.n, engine=engine,
+                faults=fault_plan, **kwargs))]
     finally:
         if profiler is not None:
             profiler.disable()

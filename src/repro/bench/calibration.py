@@ -45,26 +45,27 @@ class CalibrationAnchor:
 
     label: str
     paper_tx_s: float
-    runner: str                      # harness function name
-    kwargs: tuple = ()               # frozen (key, value) pairs
+    system: str                      # Scenario system key
+    kwargs: tuple = ()               # frozen (key, value) Scenario fields
 
 
 ANCHORS = (
     CalibrationAnchor(
-        "Table I: naive sequential+sync", 1729, "run_naive_smartcoin",
+        "Table I: naive sequential+sync", 1729, "naive",
         (("verification", VerificationMode.SEQUENTIAL),
          ("storage", StorageMode.SYNC))),
     CalibrationAnchor(
-        "Table I: naive parallel+sync", 3881, "run_naive_smartcoin",
+        "Table I: naive parallel+sync", 3881, "naive",
         (("verification", VerificationMode.PARALLEL),
          ("storage", StorageMode.SYNC))),
     CalibrationAnchor(
-        "Table I: Dura-SMaRt", 14829, "run_dura_smart", ()),
+        "Table I: Dura-SMaRt", 14829, "dura",
+        (("verification", VerificationMode.PARALLEL),)),
     CalibrationAnchor(
-        "Table II: SmartChain weak", 14547, "run_smartchain",
+        "Table II: SmartChain weak", 14547, "smartchain",
         (("variant", PersistenceVariant.WEAK),)),
     CalibrationAnchor(
-        "Table II: SmartChain strong", 12560, "run_smartchain",
+        "Table II: SmartChain strong", 12560, "smartchain",
         (("variant", PersistenceVariant.STRONG),)),
 )
 
@@ -77,14 +78,14 @@ def calibration_report(clients: int = 1200, duration: float = 2.5,
     ±35% of the paper at reduced scale) and by operators after touching
     any constant.
     """
-    from repro.bench import harness
+    from repro.bench.harness import Scenario, run
 
     rows = []
     for anchor in ANCHORS:
-        runner = getattr(harness, anchor.runner)
         kwargs = dict(anchor.kwargs)
-        result = runner(clients=clients, duration=duration, seed=seed,
-                        costs=costs, **kwargs)
+        result = run(Scenario(system=anchor.system, clients=clients,
+                              duration=duration, seed=seed, costs=costs,
+                              **kwargs))
         ratio = result.throughput / anchor.paper_tx_s
         rows.append((anchor.label, anchor.paper_tx_s, result.throughput,
                      ratio))

@@ -8,9 +8,9 @@ the paper measures it (fixed operation-count intervals, 20% highest-variance
 intervals discarded, average — Section VI-A).
 
 The historical ``run_smartchain`` / ``run_naive_smartcoin`` / ``run_dura_smart``
-/ ``run_tendermint`` / ``run_fabric`` entry points remain as thin wrappers
-that construct the equivalent Scenario, so existing benchmarks and notebooks
-keep working unchanged.
+/ ``run_tendermint`` / ``run_fabric`` entry points remain as deprecated thin
+wrappers that construct the equivalent Scenario — byte-identical results,
+plus a :class:`DeprecationWarning` pointing at ``Scenario``/``run``.
 
 Results are plain data: every field of :class:`ExperimentResult` survives
 ``json.dumps`` (see :meth:`ExperimentResult.to_json`).  Live simulation
@@ -22,6 +22,7 @@ of the serialized result.
 from __future__ import annotations
 
 import gc
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -94,6 +95,9 @@ class Scenario:
     """
 
     system: str = "smartchain"
+    #: Consensus engine key (see repro.consensus.engine_names()); applies
+    #: to the engine-hosting systems (smartchain/naive/dura).
+    engine: str = "modsmart"
     n: int = 4
     clients: int = 2400
     duration: float = 4.0
@@ -129,6 +133,7 @@ class Scenario:
         """JSON-safe summary of the scenario (for bench reports)."""
         return {
             "system": self.system,
+            "engine": self.engine,
             "n": self.n,
             "clients": self.clients,
             "duration": self.duration,
@@ -285,7 +290,7 @@ def _build_smartchain(sim: Simulator, sc: Scenario,
     minters = all_minter_addresses(sc.clients)
     consortium = bootstrap(sim, tuple(range(sc.n)),
                            lambda: SmartCoin(minters=minters),
-                           config, costs=costs)
+                           config, costs=costs, engine=sc.engine)
     view_holder = [consortium.genesis.view]
     for node in consortium.nodes.values():
         node.view_listeners.append(
@@ -295,6 +300,8 @@ def _build_smartchain(sim: Simulator, sc: Scenario,
         workload=sc.workload, signed=_signed(sc.verification))
     label = (f"SmartChain {sc.variant.value} "
              f"({sc.storage.value}, {sc.verification.value}, n={sc.n})")
+    if sc.engine != "modsmart":
+        label = f"{label[:-1]}, {sc.engine})"
     node0 = consortium.node(0)
     return _Built(stations, label, consortium, lambda: {
         "blocks": node0.delivery.blocks_built,
@@ -305,7 +312,8 @@ def _build_smartchain(sim: Simulator, sc: Scenario,
         nodes=dict(consortium.nodes))
 
 
-def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory):
+def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory,
+                            engine="modsmart"):
     registry = KeyRegistry(seed=sim.seed)
     network = Network(sim, costs.network)
     keydir = KeyDirectory()
@@ -316,7 +324,7 @@ def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory):
     for replica_id in view.members:
         replicas.append(ModSmartReplica(
             sim, network, registry, keydir, replica_id, view, config, costs,
-            delivery_factory()))
+            delivery_factory(), engine=engine))
     return network, view, replicas
 
 
@@ -325,7 +333,8 @@ def _build_naive(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
     network, view, replicas = _build_modsmart_cluster(
         sim, costs, sc.n, sc.verification,
         lambda: NaiveBlockchainDelivery(SmartCoin(minters=minters),
-                                        sc.storage))
+                                        sc.storage),
+        engine=sc.engine)
     stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
                                  workload=sc.workload,
                                  signed=_signed(sc.verification))
@@ -340,7 +349,8 @@ def _build_dura(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
     minters = all_minter_addresses(sc.clients)
     network, view, replicas = _build_modsmart_cluster(
         sim, costs, sc.n, sc.verification,
-        lambda: DuraSmartDelivery(SmartCoin(minters=minters), sc.storage))
+        lambda: DuraSmartDelivery(SmartCoin(minters=minters), sc.storage),
+        engine=sc.engine)
     stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
                                  workload=sc.workload,
                                  signed=_signed(sc.verification))
@@ -477,8 +487,15 @@ def run(scenario: Scenario) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# Back-compat wrappers (thin Scenario constructors)
+# Deprecated wrappers (thin Scenario constructors)
 # ----------------------------------------------------------------------
+def _deprecated_wrapper(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; construct a Scenario and call run() "
+        f"instead: run(Scenario(system=..., ...))",
+        DeprecationWarning, stacklevel=3)
+
+
 def run_smartchain(
     variant: PersistenceVariant = PersistenceVariant.STRONG,
     storage: StorageMode = StorageMode.SYNC,
@@ -495,14 +512,19 @@ def run_smartchain(
     observe: bool = False,
     audit: bool = False,
     faults: Any = None,
+    engine: str = "modsmart",
 ) -> ExperimentResult:
-    """One SMARTCHAIN configuration under the SMaRtCoin workload."""
+    """One SMARTCHAIN configuration under the SMaRtCoin workload.
+
+    .. deprecated:: construct a :class:`Scenario` and call :func:`run`.
+    """
+    _deprecated_wrapper("run_smartchain")
     return run(Scenario(
         system="smartchain", variant=variant, storage=storage,
         verification=verification, n=n, clients=clients, duration=duration,
         seed=seed, checkpoint_period=checkpoint_period, costs=costs,
         workload=workload, label=label, warmup=warmup, observe=observe,
-        audit=audit, faults=faults))
+        audit=audit, faults=faults, engine=engine))
 
 
 def run_naive_smartcoin(
@@ -519,7 +541,11 @@ def run_naive_smartcoin(
     observe: bool = False,
     audit: bool = False,
 ) -> ExperimentResult:
-    """The naive design of Section IV: app-level blockchain inside the SMR."""
+    """The naive design of Section IV: app-level blockchain inside the SMR.
+
+    .. deprecated:: construct a :class:`Scenario` and call :func:`run`.
+    """
+    _deprecated_wrapper("run_naive_smartcoin")
     return run(Scenario(
         system="naive", verification=verification, storage=storage, n=n,
         clients=clients, duration=duration, seed=seed, costs=costs,
@@ -540,7 +566,11 @@ def run_dura_smart(
     observe: bool = False,
     audit: bool = False,
 ) -> ExperimentResult:
-    """SMaRtCoin over the BFT-SMART durability layer (Dura-SMaRt)."""
+    """SMaRtCoin over the BFT-SMART durability layer (Dura-SMaRt).
+
+    .. deprecated:: construct a :class:`Scenario` and call :func:`run`.
+    """
+    _deprecated_wrapper("run_dura_smart")
     return run(Scenario(
         system="dura", verification=verification, storage=storage, n=n,
         clients=clients, duration=duration, seed=seed, costs=costs,
@@ -558,6 +588,11 @@ def run_tendermint(
     observe: bool = False,
     audit: bool = False,
 ) -> ExperimentResult:
+    """Tendermint comparator run.
+
+    .. deprecated:: construct a :class:`Scenario` and call :func:`run`.
+    """
+    _deprecated_wrapper("run_tendermint")
     return run(Scenario(
         system="tendermint", clients=clients, duration=duration, seed=seed,
         costs=costs, config=config, label=label, warmup=warmup,
@@ -575,6 +610,11 @@ def run_fabric(
     observe: bool = False,
     audit: bool = False,
 ) -> ExperimentResult:
+    """Hyperledger Fabric comparator run.
+
+    .. deprecated:: construct a :class:`Scenario` and call :func:`run`.
+    """
+    _deprecated_wrapper("run_fabric")
     return run(Scenario(
         system="fabric", clients=clients, duration=duration, seed=seed,
         costs=costs, config=config, label=label, warmup=warmup,

@@ -34,11 +34,7 @@ import sys
 import time
 from typing import Any, Callable
 
-from repro.bench.harness import (
-    ExperimentResult,
-    run_dura_smart,
-    run_naive_smartcoin,
-)
+from repro.bench.harness import ExperimentResult, Scenario, run
 from repro.config import StorageMode, VerificationMode
 from repro.obs.compare import (
     DEFAULT_WALLCLOCK_BUDGET,
@@ -75,7 +71,8 @@ def table1_rows(
     kwargs = dict(clients=clients, duration=duration, seed=seed)
 
     def naive(verification: VerificationMode, storage: StorageMode):
-        return lambda: run_naive_smartcoin(verification, storage, **kwargs)
+        return lambda: run(Scenario(system="naive", verification=verification,
+                                    storage=storage, **kwargs))
 
     return [
         ("naive seq sync",
@@ -86,7 +83,8 @@ def table1_rows(
          naive(VerificationMode.PARALLEL, StorageMode.SYNC)),
         ("naive par async",
          naive(VerificationMode.PARALLEL, StorageMode.ASYNC)),
-        ("dura-smart", lambda: run_dura_smart(**kwargs)),
+        ("dura-smart",
+         lambda: run(Scenario(system="dura", **kwargs))),
     ]
 
 

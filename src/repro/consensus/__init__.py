@@ -1,8 +1,28 @@
-"""VP-Consensus: the Byzantine consensus primitive under Mod-SMaRt."""
+"""Pluggable Byzantine consensus: the engine API and its implementations.
 
+The public surface of this package is the engine seam (see
+``docs/engines.md``): :class:`ConsensusEngine` plus the registry
+functions, and the two shipped engines — Mod-SMaRt's three-round
+VP-Consensus (the default) and the two-round n = 5f−1 fast path.
+:class:`ConsensusInstance` remains exported for Mod-SMaRt's per-instance
+bookkeeping (it is unit-tested directly); the message dataclasses are
+exported for fault behaviors and tests that inspect the wire.
+"""
+
+from repro.consensus.engine import (
+    ENGINES,
+    ConsensusEngine,
+    EngineError,
+    create_engine,
+    engine_names,
+    register_engine,
+)
+from repro.consensus.fastbft import FastBftEngine
 from repro.consensus.instance import ConsensusInstance, Phase
 from repro.consensus.messages import (
     AcceptMsg,
+    FastCommitMsg,
+    FastVoteMsg,
     ProposeMsg,
     StopDataMsg,
     StopMsg,
@@ -10,12 +30,26 @@ from repro.consensus.messages import (
     WriteMsg,
     batch_wire_size,
 )
+from repro.consensus.modsmart import ModSmartEngine
 
 __all__ = [
+    # Engine API (the seam everything above consensus depends on).
+    "ConsensusEngine",
+    "EngineError",
+    "ENGINES",
+    "register_engine",
+    "create_engine",
+    "engine_names",
+    "ModSmartEngine",
+    "FastBftEngine",
+    # Mod-SMaRt bookkeeping.
     "ConsensusInstance",
     "Phase",
+    # Wire messages.
     "AcceptMsg",
     "ProposeMsg",
+    "FastVoteMsg",
+    "FastCommitMsg",
     "StopDataMsg",
     "StopMsg",
     "SyncMsg",

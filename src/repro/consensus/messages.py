@@ -23,6 +23,8 @@ __all__ = [
     "ProposeMsg",
     "WriteMsg",
     "AcceptMsg",
+    "FastVoteMsg",
+    "FastCommitMsg",
     "StopMsg",
     "StopDataMsg",
     "SyncMsg",
@@ -61,6 +63,39 @@ class WriteMsg(Message):
 @dataclass
 class AcceptMsg(Message):
     """Replica → all: signed acceptance; a quorum forms the decision proof."""
+
+    cid: int = 0
+    regency: int = 0
+    batch_hash: bytes = b""
+    signature: Signature | None = None
+    size: int = field(default=_CONSENSUS_HEADER + 32 + Signature.WIRE_SIZE, kw_only=True)
+
+
+@dataclass
+class FastVoteMsg(Message):
+    """Replica → all: signed first-round vote of the fast-path engine.
+
+    In the n = 5f−1 fast path (Abraham, Nayak, Ren & Xiang) every replica
+    broadcasts a signed vote straight off the leader's proposal; a fast
+    quorum ⌈(n+3f−1)/2⌉ of matching votes decides in two rounds and the
+    vote signatures double as the decision proof.
+    """
+
+    cid: int = 0
+    regency: int = 0
+    batch_hash: bytes = b""
+    signature: Signature | None = None
+    size: int = field(default=_CONSENSUS_HEADER + 32 + Signature.WIRE_SIZE, kw_only=True)
+
+
+@dataclass
+class FastCommitMsg(Message):
+    """Replica → all: signed slow-path commit of the fast-path engine.
+
+    Sent when a classic quorum ⌈(n+f+1)/2⌉ of votes formed but the fast
+    quorum did not (faults or partitions); a classic quorum of commits
+    decides, PBFT-style, in one extra round.
+    """
 
     cid: int = 0
     regency: int = 0

@@ -280,7 +280,7 @@ class SmartChainDelivery(SequentialDelivery):
             recorded = self.recorded_members.get(replica.cv.view_id, set())
             matching = {rid: sig for rid, (d, sig) in votes.items()
                         if d == digest and rid in recorded}
-            if len(matching) >= replica.cv.cert_quorum:
+            if len(matching) >= replica.cert_quorum:
                 certificate = Certificate(number, digest,
                                           replica.cv.view_id)
                 for rid, signature in matching.items():
@@ -525,7 +525,7 @@ class SmartChainDelivery(SequentialDelivery):
         recorded = self.recorded_members.get(view.view_id, set())
         matching = {rid: sig for rid, (d, sig) in votes.items()
                     if d == digest and rid in recorded}
-        if len(matching) < view.cert_quorum:
+        if len(matching) < self.replica.cert_quorum:
             return
         del self._persist_waits[number]
         timer = self._persist_timers.pop(number, None)

@@ -68,6 +68,7 @@ class SmartChainNode:
         permanent_key=None,
         initial_consensus_key=None,
         policy: Callable[[str, int, Any], bool] | None = None,
+        engine=None,
     ):
         self.sim = sim
         self.id = node_id
@@ -85,6 +86,7 @@ class SmartChainNode:
             active=current_view.contains(node_id),
             permanent_key=permanent_key,
             initial_consensus_key=initial_consensus_key,
+            engine=engine,
         )
         self.reconfig = ReconfigManager(self, policy=policy)
         self.replica.register_handler(ReplyBatchMsg, self._on_reply_batch)
@@ -135,7 +137,7 @@ class SmartChainNode:
             requests=[request], size=nbytes))
 
     def _on_reply_batch(self, src: int, msg: ReplyBatchMsg) -> None:
-        quorum = self.replica.cv.quorum
+        quorum = self.replica.quorum
         for key, (payload, digest) in msg.results.items():
             call = self._system_calls.get(key)
             if call is None:
@@ -222,7 +224,7 @@ class Consortium:
     """The result of :func:`bootstrap`: nodes plus shared substrate."""
 
     def __init__(self, sim, network, registry, keydir, genesis, nodes,
-                 config, costs):
+                 config, costs, engine=None):
         self.sim = sim
         self.network = network
         self.registry = registry
@@ -231,6 +233,7 @@ class Consortium:
         self.nodes: dict[int, SmartChainNode] = {n.id: n for n in nodes}
         self.config = config
         self.costs = costs
+        self.engine = engine
 
     @property
     def view(self) -> View:
@@ -251,7 +254,7 @@ class Consortium:
         node = SmartChainNode(
             self.sim, self.network, self.registry, self.keydir, node_id,
             self.genesis, self.config, self.costs, app,
-            view=self.view, policy=policy,
+            view=self.view, policy=policy, engine=self.engine,
         )
         node.replica.active = False
         self.nodes[node_id] = node
@@ -272,6 +275,7 @@ def bootstrap(
     network: Network | None = None,
     trace: TraceLog | None = None,
     policy: Callable[[str, int, Any], bool] | None = None,
+    engine: str | None = None,
 ) -> Consortium:
     """Create a consortium from scratch: keys, genesis block, nodes.
 
@@ -315,7 +319,8 @@ def bootstrap(
             permanent_key=permanent[member],
             initial_consensus_key=consensus[member],
             policy=policy,
+            engine=engine,
         )
         nodes.append(node)
     return Consortium(sim, network, registry, keydir, genesis, nodes,
-                      config, costs)
+                      config, costs, engine=engine)

@@ -185,7 +185,7 @@ class ReconfigManager:
             return  # stale vote for a different reconfiguration epoch
         votes = self._collected.setdefault(key, {})
         votes[msg.voter] = (msg.announcement, msg.vote_signature)
-        needed = replica.cv.n - replica.cv.f
+        needed = replica.cv.n - replica.f
         everyone = len([m for m in replica.cv.members if m != replica.id])
         if len(votes) >= everyone:
             self._submit_membership_change(key, msg.kind, msg.next_view_id)
@@ -257,7 +257,7 @@ class ReconfigManager:
         next_view_id = cv.view_id + 1
         valid_votes = self._validate_votes("join", node_id, next_view_id,
                                            vote_records)
-        if len(valid_votes) < cv.n - cv.f:
+        if len(valid_votes) < cv.n - replica.f:
             return ReconfigOutcome(result=("error", "insufficient votes"))
         joiner = self._validate_announcement(joiner_ann, next_view_id,
                                              node_id, permanent_public)
@@ -282,7 +282,7 @@ class ReconfigManager:
         next_view_id = cv.view_id + 1
         valid_votes = self._validate_votes("leave", node_id, next_view_id,
                                            vote_records)
-        if len(valid_votes) < cv.n - cv.f:
+        if len(valid_votes) < cv.n - replica.f:
             return ReconfigOutcome(result=("error", "insufficient votes"))
         new_view = cv.without_member(node_id)
         announcements = [ann for voter, ann in valid_votes
@@ -309,9 +309,9 @@ class ReconfigManager:
             return ReconfigOutcome(result=("error", "bad announcement"))
         tally = self._remove_tally.setdefault(target, {})
         tally[sender] = ann_record
-        if len(tally) < cv.n - cv.f:
+        if len(tally) < cv.n - replica.f:
             return ReconfigOutcome(
-                result=("pending", len(tally), cv.n - cv.f))
+                result=("pending", len(tally), cv.n - replica.f))
         new_view = cv.without_member(target)
         announcements = []
         for voter, record in sorted(tally.items()):

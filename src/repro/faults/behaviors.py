@@ -10,12 +10,20 @@ the real protocol — no hand-seeded event traces:
 - :class:`MuteBehavior` — a silent (or selectively silent) replica
   (attacks liveness; the synchronization phase must route around it).
 - :class:`WithholdVotesBehavior` — participates everywhere except the
-  WRITE/ACCEPT vote steps (a stealthier liveness attack: the replica still
+  engine's vote steps (a stealthier liveness attack: the replica still
   looks alive to failure detectors).
 - :class:`StaleReplayBehavior` — refuses to erase retired per-view
   consensus keys and, after a reconfiguration, replays PERSIST votes signed
   with the retired key (attacks the forgetting protocol end-to-end,
   Section V-D / Observation 3: the group must reject the stale signature).
+
+Behaviors are engine-agnostic: they consult the compromised replica's
+:class:`~repro.consensus.engine.ConsensusEngine` for which message types
+carry values and votes (``value_bearing_types``/``vote_phase_of``) and
+for fabricated double-votes (``fabricate_votes``), so the same plan
+attacks Mod-SMaRt and the fast-path engine alike.  Overrides that only
+make sense for one engine — e.g. ``withhold-votes`` naming a ``write``
+phase under an engine without one — fail fast at install time.
 
 A behavior's random draws come from its own seeded RNG stream, so chaos
 runs replay bit-for-bit; its first activation is announced with a
@@ -28,8 +36,7 @@ from __future__ import annotations
 import random
 from typing import Any, Hashable
 
-from repro.consensus.messages import AcceptMsg, ProposeMsg, WriteMsg, \
-    batch_wire_size
+from repro.consensus.messages import ProposeMsg, batch_wire_size
 from repro.core.persistence import PersistMsg
 from repro.crypto.hashing import hash_obj
 from repro.faults.plan import BehaviorSpec
@@ -62,6 +69,15 @@ class Behavior(Interceptor):
     def install(self) -> None:
         """Attach to the replica's runtime (both chains + event taps)."""
         self.replica.runtime.install(self)
+
+    def validate(self) -> str | None:
+        """Check the spec against the replica's engine before installing.
+
+        Returns an error message when the spec only makes sense for an
+        engine this replica is not running (the injector turns it into a
+        :class:`FaultInjectionError`), or None when the spec applies.
+        """
+        return None
 
     def window_active(self, cid: int | None = None) -> bool:
         """Is the behavior's trigger window (time and cid) open?"""
@@ -96,8 +112,11 @@ class EquivocateBehavior(Behavior):
     hash).  Colluding Byzantine peers and the traitor itself keep the
     original, so each half sees a self-consistent leader.
 
-    Inbound: the traitor WRITE- and ACCEPT-votes for *every* value it
-    learns of in the instance, trying to complete conflicting quorums.
+    Inbound: the traitor votes in *every* phase for *every* value it
+    learns of in the instance (the engine's ``value_bearing_types`` says
+    which inbound messages reveal a value, its ``fabricate_votes``
+    produces the full forbidden vote set), trying to complete conflicting
+    quorums.
     With ≤ f traitors both values can reach at most f + ⌈(n-f)/2⌉ < quorum
     votes, the instance stalls, and the synchronization phase replaces the
     leader — the run must stay audit-clean.  With f+1 traitors the vote
@@ -136,7 +155,8 @@ class EquivocateBehavior(Behavior):
     def on_inbound(self, src: Hashable, msg: Message):
         cid = getattr(msg, "cid", None)
         batch_hash = getattr(msg, "batch_hash", None)
-        if (isinstance(msg, (ProposeMsg, WriteMsg)) and cid is not None
+        if (isinstance(msg, self.replica.engine.value_bearing_types())
+                and cid is not None
                 and batch_hash is not None and self.window_active(cid)
                 and cid > self.replica.last_decided
                 and (cid, batch_hash) not in self._voted):
@@ -145,22 +165,16 @@ class EquivocateBehavior(Behavior):
         return msg
 
     def _double_vote(self, cid: int, regency: int, batch_hash: bytes) -> None:
-        """WRITE and ACCEPT this value regardless of previous votes —
-        exactly what an honest replica may never do."""
+        """Vote for this value in every phase regardless of previous votes
+        — exactly what an honest replica may never do."""
         replica = self.replica
         rt = replica.runtime
         self.activate(cid=cid)
-        key = replica.consensus_key()
-        if key.is_erased:
-            return
-        signature = key.sign(hash_obj(("accept", cid, batch_hash)))
-        write = WriteMsg(cid=cid, regency=regency, batch_hash=batch_hash)
-        accept = AcceptMsg(cid=cid, regency=regency, batch_hash=batch_hash,
-                           signature=signature)
+        votes = replica.engine.fabricate_votes(cid, regency, batch_hash)
         # send_raw: fabricated votes must not loop back through this chain.
         for dst in replica.cv.members:
-            rt.send_raw(dst, write)
-            rt.send_raw(dst, accept)
+            for vote in votes:
+                rt.send_raw(dst, vote)
 
 
 class MuteBehavior(Behavior):
@@ -184,19 +198,40 @@ class MuteBehavior(Behavior):
 
 
 class WithholdVotesBehavior(Behavior):
-    """Drops this replica's own WRITE/ACCEPT votes (and PERSIST shares).
+    """Drops this replica's own consensus votes (and PERSIST shares).
 
-    ``params['phases']`` may restrict withholding to a subset of
-    ``{"write", "accept", "persist"}``; the default withholds all three.
+    ``params['phases']`` may restrict withholding to a subset of the
+    engine's vote phases (``engine.phases``, e.g. ``write``/``accept``
+    under Mod-SMaRt, ``vote``/``commit`` under the fast path) plus
+    ``persist``; the default withholds all of them.  Naming a phase the
+    replica's engine lacks fails fast at install time.
     """
 
-    PHASE_OF = {WriteMsg: "write", AcceptMsg: "accept", PersistMsg: "persist"}
+    def _valid_phases(self) -> tuple[str, ...]:
+        return tuple(self.replica.engine.phases) + ("persist",)
+
+    def validate(self) -> str | None:
+        phases = self.spec.params.get("phases")
+        if phases is None:
+            return None
+        unknown = sorted(set(phases) - set(self._valid_phases()))
+        if unknown:
+            engine = self.replica.engine
+            return (f"withhold-votes names phase(s) {unknown} that engine "
+                    f"{engine.name!r} lacks (valid: "
+                    f"{list(self._valid_phases())})")
+        return None
+
+    def _phase_of(self, msg: Message) -> str | None:
+        if isinstance(msg, PersistMsg):
+            return "persist"
+        return self.replica.engine.vote_phase_of(type(msg))
 
     def on_outbound(self, dst: Hashable, msg: Message):
-        phase = self.PHASE_OF.get(type(msg))
+        phase = self._phase_of(msg)
         if phase is None or not self.window_active(getattr(msg, "cid", None)):
             return [(dst, msg)]
-        phases = self.spec.params.get("phases", ("write", "accept", "persist"))
+        phases = self.spec.params.get("phases", self._valid_phases())
         if phase not in phases:
             return [(dst, msg)]
         self.activate(withheld=phase)

@@ -80,6 +80,10 @@ class FaultInjector:
                 behavior = build_behavior(
                     replicas[node_id], spec, byzantine,
                     f"faults:{sim.seed}:{plan.seed}:{index}:{node_id}")
+                problem = behavior.validate()
+                if problem is not None:
+                    raise FaultInjectionError(
+                        f"plan {plan.name!r}: {problem}")
                 behavior.install()
                 self.behaviors.append(behavior)
                 self._announce(0.0, node_id, action="behavior",

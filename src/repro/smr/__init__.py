@@ -1,4 +1,10 @@
-"""Mod-SMaRt state machine replication (the BFT-SMART reimplementation)."""
+"""State machine replication above a pluggable consensus engine.
+
+The replica here is protocol-agnostic: pass ``engine="modsmart"`` (the
+default, BFT-SMART's Mod-SMaRt) or any key registered with
+:func:`repro.consensus.register_engine` to order under a different
+agreement protocol.  Everything exported here is engine-independent.
+"""
 
 from repro.smr.durability import DuraSmartDelivery
 from repro.smr.keydir import KeyDirectory

@@ -100,9 +100,9 @@ class Synchronizer:
             return
         votes = self._stop_votes.setdefault(regency, set())
         votes.add(src)
-        if len(votes) >= replica.cv.f + 1:
+        if len(votes) >= replica.f + 1:
             self._send_stop(regency)  # join the change
-        if len(votes) >= replica.cv.stop_quorum:
+        if len(votes) >= replica.stop_quorum:
             self._install_regency(regency)
 
     def _install_regency(self, regency: int) -> None:
@@ -112,17 +112,14 @@ class Synchronizer:
         replica.regency = regency
         self.regency_changes += 1
         self.in_sync_phase = True
-        replica._cancel_batch_timer()
+        replica.cancel_batch_timer()
         for stale in [r for r in self._stop_votes if r <= regency]:
             del self._stop_votes[stale]
         self._stop_sent_for = max(self._stop_sent_for, regency)
         replica.inflight.clear()
 
         pending_cid = replica.last_decided + 1
-        instance = replica.instances.get(pending_cid)
-        writeset = instance.writeset if instance is not None else None
-        if instance is not None:
-            instance.reset_for_regency(regency)
+        writeset = replica.engine.abandon_regency(pending_cid, regency)
 
         replica.trace.emit(replica.sim.now, "regency-installed",
                            replica=replica.id, regency=regency)
@@ -174,7 +171,7 @@ class Synchronizer:
         if regency != replica.regency:
             return
         collected = self._stopdata.get(regency, {})
-        needed = replica.cv.n - replica.cv.f
+        needed = replica.cv.n - replica.f
         if len(collected) < needed or self._synced_regency >= regency:
             return
         highest = max(sd.last_decided_cid for sd in collected.values())
@@ -230,11 +227,8 @@ class Synchronizer:
             unseen = [r for r in msg.batch if r.key not in replica.seen]
             if unseen:
                 replica.ingest_requests(unseen)
-            instance = replica._instance(msg.cid)
-            if instance.on_propose(msg.regency, msg.batch, msg.batch_hash):
-                from repro.consensus.messages import WriteMsg
-                replica.broadcast_view(WriteMsg(cid=msg.cid, regency=msg.regency,
-                                                batch_hash=msg.batch_hash))
+            replica.engine.adopt_sync(msg.cid, msg.regency, msg.batch,
+                                      msg.batch_hash)
         else:
             replica.maybe_propose()
         self.arm_request_timer()

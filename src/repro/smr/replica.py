@@ -1,14 +1,20 @@
-"""The Mod-SMaRt replica: BFT total-order broadcast with batching.
+"""The SMR replica: BFT total-order broadcast with batching.
 
-This is the reproduction of BFT-SMART's ordering core (Section II-C): a
-sequence of VP-Consensus instances (PROPOSE / WRITE / signed-ACCEPT, Figure 1
-of the paper), client request batching, a synchronization phase for leader
-changes, state transfer hooks and crash/recovery with an incarnation guard.
+This is the reproduction of BFT-SMART's ordering core (Section II-C):
+client request batching, decision sequencing, a synchronization phase for
+leader changes, state transfer hooks and crash/recovery with an
+incarnation guard.  The agreement protocol itself is pluggable: a
+:class:`~repro.consensus.engine.ConsensusEngine` (Mod-SMaRt's
+VP-Consensus by default) owns the consensus messages, vote bookkeeping
+and quorum policy.
 
 Division of labour
 ------------------
 - This class owns *ordering* and the shared machine resources (state-machine
   thread, verification pool, NIC endpoint, stable store).
+- A :class:`~repro.consensus.engine.ConsensusEngine` owns agreement: its
+  wire messages and handlers, per-instance tallies, and the quorum sizes
+  (``replica.f`` / ``replica.quorum`` / ... are engine policy).
 - A :class:`~repro.smr.runtime.NodeRuntime` owns the message plumbing: typed
   handler dispatch, the inbound/outbound interceptor chains (fault
   injection, tracing) and the protocol-event taps.  Collaborators register
@@ -27,16 +33,9 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.config import CostModel, SMRConfig, VerificationMode
-from repro.consensus.instance import ConsensusInstance
-from repro.consensus.messages import (
-    AcceptMsg,
-    ProposeMsg,
-    WriteMsg,
-    batch_wire_size,
-)
-from repro.crypto.hashing import hash_obj, hash_obj_cached
+from repro.consensus.engine import ConsensusEngine, create_engine
+from repro.crypto.hashing import hash_obj
 from repro.crypto.keys import KeyPair, KeyRegistry
-from repro.errors import ConsensusError
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.engine import Simulator
@@ -79,6 +78,10 @@ class ModSmartReplica:
         ``"permanent"`` — sign consensus messages with the permanent key
         (classic BFT-SMART); ``"per_view"`` — fresh consensus keys per view
         with erasure on view change (SMARTCHAIN's forgetting protocol).
+    engine:
+        The agreement protocol: a registry key (``"modsmart"``,
+        ``"fastbft"``), a :class:`~repro.consensus.engine.ConsensusEngine`
+        instance, or None for the default Mod-SMaRt.
     """
 
     def __init__(
@@ -98,6 +101,7 @@ class ModSmartReplica:
         active: bool = True,
         permanent_key: KeyPair | None = None,
         initial_consensus_key: KeyPair | None = None,
+        engine: "str | ConsensusEngine | None" = None,
     ):
         self.sim = sim
         self.net = network
@@ -137,9 +141,7 @@ class ModSmartReplica:
         self.seen: set[RequestKey] = set()
         self.verified: set[RequestKey] = set()
         self.inflight: set[RequestKey] = set()
-        self.instances: dict[int, ConsensusInstance] = {}
         self.decision_buffer: dict[int, Decision] = {}
-        self.future_proposals: dict[int, tuple[int, ProposeMsg]] = {}
         self._verify_waiters: list[tuple[set[RequestKey], Callable[[], None]]] = []
 
         # Lifecycle.
@@ -161,9 +163,10 @@ class ModSmartReplica:
         self.runtime = NodeRuntime(sim, network, replica_id)
         self.runtime.gate = lambda: not self.crashed
         self.runtime.register_handler(RequestBatchMsg, self._on_request_batch)
-        self.runtime.register_handler(ProposeMsg, self._on_propose)
-        self.runtime.register_handler(WriteMsg, self._on_write)
-        self.runtime.register_handler(AcceptMsg, self._on_accept)
+
+        # The agreement protocol registers its own message handlers.
+        self.engine = create_engine(engine)
+        self.engine.attach(self)
 
         # Collaborators (import here to avoid cycles).  Each registers its
         # own message types with the runtime.
@@ -175,6 +178,29 @@ class ModSmartReplica:
 
         delivery.attach(self)
         self.endpoint = network.register(replica_id, self.runtime.deliver)
+
+    # ==================================================================
+    # Quorum policy (delegated to the engine over the current view size)
+    # ==================================================================
+    @property
+    def f(self) -> int:
+        """Fault threshold for the current view, per the engine's policy."""
+        return self.engine.fault_threshold(self.cv.n)
+
+    @property
+    def quorum(self) -> int:
+        """Votes that decide an instance (and match client replies)."""
+        return self.engine.quorum(self.cv.n)
+
+    @property
+    def stop_quorum(self) -> int:
+        """STOP votes that install a new regency."""
+        return self.engine.stop_quorum(self.cv.n)
+
+    @property
+    def cert_quorum(self) -> int:
+        """Signatures required in a block certificate."""
+        return self.engine.cert_quorum(self.cv.n)
 
     # ==================================================================
     # Resource charging helpers
@@ -380,8 +406,7 @@ class ModSmartReplica:
         if self.synchronizer.in_sync_phase:
             return
         next_cid = self.last_decided + 1
-        instance = self.instances.get(next_cid)
-        if instance is not None and instance.batch_hash is not None:
+        if self.engine.has_open_proposal(next_cid):
             return  # already ordering something for this cid
         if self.delivery.backlog >= self.config.max_pending_decisions:
             return  # flow control: let the delivery pipeline drain
@@ -389,8 +414,8 @@ class ModSmartReplica:
         if not ready:
             return
         if len(ready) >= self.config.batch_size:
-            self._cancel_batch_timer()
-            self._propose(ready[: self.config.batch_size])
+            self.cancel_batch_timer()
+            self.engine.propose(ready[: self.config.batch_size])
         elif self._batch_timer is None:
             self._batch_timer = self.sim.schedule(
                 self.config.batch_timeout, self.guard(self._batch_timeout_fired))
@@ -401,159 +426,20 @@ class ModSmartReplica:
             return
         if self.synchronizer.in_sync_phase:
             return
-        next_cid = self.last_decided + 1
-        instance = self.instances.get(next_cid)
-        if instance is not None and instance.batch_hash is not None:
+        if self.engine.has_open_proposal(self.last_decided + 1):
             return
         if self.delivery.backlog >= self.config.max_pending_decisions:
             # Re-check once the pipeline drains (maybe_propose re-arms).
             return
         ready = self.ready_requests()
         if ready:
-            self._propose(ready[: self.config.batch_size])
+            self.engine.propose(ready[: self.config.batch_size])
 
-    def _cancel_batch_timer(self) -> None:
+    def cancel_batch_timer(self) -> None:
+        """Stop the batching timer (a proposal is going out another way)."""
         if self._batch_timer is not None:
             self._batch_timer.cancel()
             self._batch_timer = None
-
-    def _propose(self, batch: list[ClientRequest]) -> None:
-        cid = self.last_decided + 1
-        batch_hash = hash_obj([r.to_canonical() for r in batch])
-        self.inflight.update(r.key for r in batch)
-        msg = ProposeMsg(cid=cid, regency=self.regency, batch=batch,
-                         batch_hash=batch_hash, size=batch_wire_size(batch))
-        self.trace.emit(self.sim.now, "propose", replica=self.id, cid=cid,
-                        batch=len(batch))
-        obs = self.sim.obs
-        if obs.trace_pipeline and self.id == obs.pipeline_node:
-            now = self.sim.now
-            obs.tracer.mark_cid(cid, "propose", now)
-            for req in batch:
-                if obs.trace_request(req.key, "batch", now):
-                    obs.tracer.bind(req.key, cid)
-        self.broadcast_view(msg)
-
-    # ==================================================================
-    # Consensus message handling
-    # ==================================================================
-    def _instance(self, cid: int) -> ConsensusInstance:
-        instance = self.instances.get(cid)
-        if instance is None:
-            observer = (self._consensus_event
-                        if self.runtime.observing else None)
-            instance = ConsensusInstance(cid, self.cv.quorum,
-                                         observer=observer)
-            self.instances[cid] = instance
-        return instance
-
-    def _consensus_event(self, cid: int, phase: str,
-                         batch_hash: bytes | None) -> None:
-        rt = self.runtime
-        if rt.observing:
-            rt.notify("consensus-phase", cid=cid, phase=phase,
-                      batch_hash=(batch_hash or b"").hex())
-
-    def _on_propose(self, src: int, msg: ProposeMsg) -> None:
-        if msg.cid <= self.last_decided:
-            return
-        if msg.cid > self.last_decided + 1:
-            # Sequential instances: hold until this replica catches up.
-            self.future_proposals[msg.cid] = (src, msg)
-            self._arm_gap_check()
-            return
-        self._process_propose(src, msg)
-
-    def _process_propose(self, src: int, msg: ProposeMsg) -> None:
-        if src != self.cv.leader(msg.regency):
-            return  # not from the leader of that regency
-        if msg.regency != self.regency:
-            return
-        # Adopt requests we have not seen from stations yet (and verify them).
-        unseen = [r for r in msg.batch if r.key not in self.seen]
-        if unseen:
-            self.ingest_requests(unseen)
-        instance = self._instance(msg.cid)
-        if instance.on_propose(msg.regency, msg.batch, msg.batch_hash):
-            if self.active:
-                write = WriteMsg(cid=msg.cid, regency=msg.regency,
-                                 batch_hash=msg.batch_hash)
-                obs = self.sim.obs
-                if obs.trace_pipeline:
-                    obs.trace_cid(self.id, msg.cid, "write", self.sim.now)
-                self.broadcast_view(write)
-        # A lagging replica may already hold a quorum of ACCEPTs that was
-        # waiting only for the batch itself.
-        if (not instance.decided
-                and instance.accept_count(msg.batch_hash) >= self.cv.quorum):
-            from repro.consensus.instance import Phase
-            instance.phase = Phase.DECIDED
-            instance.decided_hash = msg.batch_hash
-            self._on_instance_decided(instance)
-
-    def _on_write(self, src: int, msg: WriteMsg) -> None:
-        if msg.cid <= self.last_decided:
-            return
-        if msg.regency != self.regency and self.active:
-            return
-        instance = self._instance(msg.cid)
-        if instance.on_write(src, msg.batch_hash) and self.active:
-            self._send_accept(instance, msg)
-
-    def _send_accept(self, instance: ConsensusInstance, write: WriteMsg) -> None:
-        instance.record_accept_sent(write.regency)
-        key = self.consensus_key()
-        # Memoized: every replica derives the same payload for this (cid,
-        # hash) — once per simulation instead of once per replica per vote.
-        payload = hash_obj_cached(("accept", write.cid, write.batch_hash))
-        # Signing happens on the crypto pool (it would block a protocol
-        # thread, not the state machine).
-        def signed() -> None:
-            if key.is_erased:
-                # A view change rotated the keys while this job was queued;
-                # the instance will be re-run under the new view.
-                return
-            signature = key.sign(payload)
-            accept = AcceptMsg(cid=write.cid, regency=write.regency,
-                               batch_hash=write.batch_hash, signature=signature)
-            self.broadcast_view(accept)
-        self.charge_pool(self.costs.crypto.sign_time, signed)
-
-    def _on_accept(self, src: int, msg: AcceptMsg) -> None:
-        if msg.cid <= self.last_decided:
-            return
-        if msg.signature is None:
-            return
-        public = self.keydir.lookup(self.cv.view_id, src)
-        if public is None:
-            return
-        payload = hash_obj_cached(("accept", msg.cid, msg.batch_hash))
-        # Verify on the pool, then tally.
-        def verified() -> None:
-            if not self.registry.verify(public, payload, msg.signature):
-                self.trace.emit(self.sim.now, "bad-accept-signature",
-                                replica=self.id, src=src, cid=msg.cid)
-                return
-            if msg.cid <= self.last_decided:
-                return
-            instance = self._instance(msg.cid)
-            if instance.on_accept(src, msg.batch_hash, msg.signature):
-                self._on_instance_decided(instance)
-        self.charge_pool(self.costs.crypto.verify_time, verified)
-
-    def _on_instance_decided(self, instance: ConsensusInstance) -> None:
-        if instance.batch is None:
-            raise ConsensusError(
-                f"replica {self.id} decided cid {instance.cid} without a batch")
-        decision = Decision(
-            cid=instance.cid,
-            batch=instance.batch,
-            proof=instance.decision_proof(),
-            batch_hash=instance.decided_hash or b"",
-            regency=self.regency,
-            decided_at=self.sim.now,
-        )
-        self.handle_decision(decision)
 
     # ==================================================================
     # Decision sequencing and delivery
@@ -568,15 +454,13 @@ class ModSmartReplica:
             ready = self.decision_buffer.pop(self.last_decided + 1)
             self._deliver(ready)
         # A buffered future proposal may now be processable.
-        pending = self.future_proposals.pop(self.last_decided + 1, None)
-        if pending is not None:
-            self._process_propose(*pending)
+        self.engine.kick_pending()
         self.maybe_propose()
 
     def _deliver(self, decision: Decision) -> None:
         self.last_decided = decision.cid
         self.decided_count += 1
-        self.instances.pop(decision.cid, None)
+        self.engine.on_delivered(decision.cid)
         for req in decision.batch:
             self.pending.pop(req.key, None)
             self.inflight.discard(req.key)
@@ -631,7 +515,8 @@ class ModSmartReplica:
     # ==================================================================
     # Gap healing
     # ==================================================================
-    def _arm_gap_check(self) -> None:
+    def arm_gap_check(self) -> None:
+        """Engines call this when they buffer an out-of-order proposal."""
         if self._gap_timer is not None:
             return
         self._gap_timer = self.sim.schedule(
@@ -639,21 +524,19 @@ class ModSmartReplica:
 
     def kick_pending_proposals(self) -> None:
         """Process the buffered proposal for the next cid, if any (decisions
-        may then cascade from already-tallied ACCEPT quorums)."""
-        pending = self.future_proposals.pop(self.last_decided + 1, None)
-        if pending is not None:
-            self._process_propose(*pending)
+        may then cascade from already-tallied vote quorums)."""
+        self.engine.kick_pending()
 
     def _gap_check(self) -> None:
         self._gap_timer = None
-        if not self.future_proposals:
+        if self.engine.earliest_buffered() is None:
             return
-        self.kick_pending_proposals()
-        if not self.future_proposals:
+        self.engine.kick_pending()
+        gap_start = self.engine.earliest_buffered()
+        if gap_start is None:
             return
-        gap_start = min(self.future_proposals)
         if gap_start <= self.last_decided + 1:
-            self._arm_gap_check()
+            self.arm_gap_check()
             return  # next proposal is buffered; progress will resume
         # A hole: decisions between last_decided and the earliest buffered
         # proposal can no longer be obtained from live traffic — fetch them
@@ -662,7 +545,7 @@ class ModSmartReplica:
                         last_decided=self.last_decided, gap_start=gap_start)
         if not self.state_transfer.in_progress:
             self.state_transfer.start(lambda _cid: None)
-        self._arm_gap_check()
+        self.arm_gap_check()
 
     def _apply_view_manager_request(self, decision: Decision) -> None:
         """Classic BFT-SMART reconfiguration: a totally-ordered request
@@ -698,21 +581,7 @@ class ModSmartReplica:
         self.rotate_keys(new_view)
         self.regency = 0
         self.synchronizer.on_view_installed()
-        members = set(new_view.members)
-        for cid in list(self.instances):
-            if cid <= self.last_decided:
-                continue
-            # Old-view votes are void — their ACCEPT signatures used the
-            # now-rotated consensus keys — so the tallies restart (the
-            # proposed batch is kept).  Re-voting under the new view lets
-            # the quorum re-form with the new membership and fresh keys.
-            instance = self.instances[cid]
-            instance.reset_for_view(new_view.quorum)
-            if (instance.batch_hash is not None and not instance.decided
-                    and self.active and self.id in members):
-                self.broadcast_view(WriteMsg(
-                    cid=cid, regency=self.regency,
-                    batch_hash=instance.batch_hash))
+        self.engine.on_view_installed(new_view)
         self.inflight.clear()
         self.trace.emit(self.sim.now, "view-installed", replica=self.id,
                         view=new_view.view_id, members=new_view.members)
@@ -735,19 +604,18 @@ class ModSmartReplica:
         self.crashed = True
         self._incarnation += 1
         self.net.unregister(self.id)
-        self._cancel_batch_timer()
+        self.cancel_batch_timer()
         if self._gap_timer is not None:
             self._gap_timer.cancel()
             self._gap_timer = None
         self.synchronizer.on_crash()
         self.state_transfer.on_crash()
+        self.engine.on_crash()
         self.pending.clear()
         self.seen.clear()
         self.verified.clear()
         self.inflight.clear()
-        self.instances.clear()
         self.decision_buffer.clear()
-        self.future_proposals.clear()
         self._verify_waiters.clear()
         self.last_decided = -1
         self.last_executed = -1

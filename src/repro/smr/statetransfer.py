@@ -163,11 +163,11 @@ class StateTransferEngine:
         if not self._probing:
             return
         self._infos[src] = (msg.last_decided, msg.self_verifiable)
-        if len(self._infos) < replica.cv.f + 1:
+        if len(self._infos) < replica.f + 1:
             return
         # Standard target: the highest cid vouched for by >= f+1 repliers.
         values = sorted((cid for cid, _ in self._infos.values()), reverse=True)
-        target = values[replica.cv.f]
+        target = values[replica.f]
         # Self-verifiable chains (strong variant) can be adopted from a
         # single source: certificates carry their own proof of persistence.
         sv_peers = {p: cid for p, (cid, sv) in self._infos.items() if sv}
@@ -189,7 +189,7 @@ class StateTransferEngine:
             return
         holders = sorted(p for p, (cid, _) in self._infos.items()
                          if cid >= target)
-        if len(holders) < replica.cv.f + 1:
+        if len(holders) < replica.f + 1:
             return  # wait for more probes (or the retry timer)
         self._probing = False
         # Prefer a non-leader as the full-state source: serving bulk state
@@ -199,7 +199,7 @@ class StateTransferEngine:
         full_source = (non_leaders[0] if non_leaders else holders[0])
         replica.send(full_source, StRequestMsg(want_full=True,
                                                up_to_cid=target))
-        for other in holders[1:replica.cv.f + 1]:
+        for other in holders[1:replica.f + 1]:
             replica.send(other, StRequestMsg(want_full=False,
                                              up_to_cid=target))
 
@@ -227,7 +227,7 @@ class StateTransferEngine:
             matching = sum(1 for (c, d) in self._hashes.values()
                            if c == cid and d == digest)
             # Full reply + f matching hashes = f+1 vouchers.
-            if matching < replica.cv.f:
+            if matching < replica.f:
                 return
             material = replica.delivery.package_digest_material(package)
             if _package_digest(cid, material) != digest:
@@ -244,8 +244,7 @@ class StateTransferEngine:
         replica.last_executed = cid
         replica.decision_buffer = {
             c: d for c, d in replica.decision_buffer.items() if c > cid}
-        replica.future_proposals = {
-            c: p for c, p in replica.future_proposals.items() if c > cid}
+        replica.engine.discard_through(cid)
         if replica.delivery.can_self_verify():
             # Blocks that missed their certificate while this replica was
             # behind may be waiting on exactly its PERSIST vote (same as

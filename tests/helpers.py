@@ -34,8 +34,9 @@ def make_cluster(
     app_factory=None,
     config: SMRConfig | None = None,
     trace: TraceLog | None = None,
+    engine: str | None = None,
 ):
-    """A plain Mod-SMaRt cluster with MemoryDelivery+KVStore by default.
+    """A plain SMR cluster with MemoryDelivery+KVStore by default.
 
     Returns (sim, network, view, replicas, apps).
     """
@@ -55,7 +56,7 @@ def make_cluster(
                     else MemoryDelivery(app))
         replicas.append(ModSmartReplica(
             sim, network, registry, keydir, replica_id, view, config, costs,
-            delivery, trace=trace))
+            delivery, trace=trace, engine=engine))
     return sim, network, view, replicas, apps
 
 
@@ -69,6 +70,7 @@ def make_consortium(
     minters: tuple[str, ...] = (MINTER,),
     trace: TraceLog | None = None,
     policy=None,
+    engine: str | None = None,
 ) -> Consortium:
     """A small SmartChain consortium running SMaRtCoin."""
     sim = Simulator(seed)
@@ -80,7 +82,7 @@ def make_consortium(
     )
     return bootstrap(sim, tuple(range(n)),
                      lambda: SmartCoin(minters=list(minters)),
-                     config, trace=trace, policy=policy)
+                     config, trace=trace, policy=policy, engine=engine)
 
 
 def attach_station(consortium: Consortium, station_id: int = 900,

@@ -5,13 +5,7 @@ import pytest
 from repro.apps.smartcoin import SmartCoin, Wallet
 from repro.baselines.fabric import FabricCluster, FabricConfig
 from repro.baselines.tendermint import TendermintCluster, TendermintConfig
-from repro.bench.harness import (
-    run_dura_smart,
-    run_fabric,
-    run_naive_smartcoin,
-    run_smartchain,
-    run_tendermint,
-)
+from repro.bench.harness import Scenario, run, run_smartchain
 from repro.clients.client import Client, ClientStation
 from repro.config import CostModel, PersistenceVariant, VerificationMode
 from repro.net.network import Network
@@ -136,35 +130,50 @@ class TestWorkloads:
 
 class TestHarness:
     def test_smartchain_run_produces_metrics(self):
-        result = run_smartchain(PersistenceVariant.WEAK, clients=200,
-                                duration=1.5, seed=151)
+        result = run(Scenario(variant=PersistenceVariant.WEAK, clients=200,
+                              duration=1.5, seed=151))
         assert result.throughput > 500
         assert result.latency_mean > 0
         assert result.completed > 0
         assert result.metrics["blocks"] > 0
 
     def test_naive_run(self):
-        result = run_naive_smartcoin(VerificationMode.PARALLEL,
-                                     clients=200, duration=1.5, seed=152)
+        result = run(Scenario(system="naive",
+                              verification=VerificationMode.PARALLEL,
+                              clients=200, duration=1.5, seed=152))
         assert result.throughput > 200
 
     def test_dura_run(self):
-        result = run_dura_smart(clients=200, duration=1.5, seed=153)
+        result = run(Scenario(system="dura", clients=200, duration=1.5,
+                              seed=153))
         assert result.throughput > 500
 
     def test_ordering_matches_paper(self):
         """The headline shape at reduced scale: naive-sequential < dura,
         and strong ≲ weak."""
-        seq = run_naive_smartcoin(VerificationMode.SEQUENTIAL,
-                                  clients=400, duration=2.0, seed=154)
-        dura = run_dura_smart(clients=400, duration=2.0, seed=154)
+        seq = run(Scenario(system="naive",
+                           verification=VerificationMode.SEQUENTIAL,
+                           clients=400, duration=2.0, seed=154))
+        dura = run(Scenario(system="dura", clients=400, duration=2.0,
+                            seed=154))
         assert dura.throughput > 2 * seq.throughput
 
     def test_result_row_formatting(self):
-        result = run_smartchain(PersistenceVariant.WEAK, clients=100,
-                                duration=1.0, seed=155)
+        result = run(Scenario(variant=PersistenceVariant.WEAK, clients=100,
+                              duration=1.0, seed=155))
         row = result.row()
         assert "tx/s" in row and "ms" in row
+
+    def test_seed_era_wrappers_deprecated_but_working(self):
+        """The run_* entry points still work (byte-identical Scenario
+        construction) but announce their deprecation."""
+        with pytest.warns(DeprecationWarning, match="run_smartchain"):
+            wrapped = run_smartchain(PersistenceVariant.WEAK, clients=100,
+                                     duration=1.0, seed=155)
+        direct = run(Scenario(variant=PersistenceVariant.WEAK, clients=100,
+                              duration=1.0, seed=155))
+        assert wrapped.throughput == direct.throughput
+        assert wrapped.completed == direct.completed
 
 
 class TestCalibration:

@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.bench.harness import run_smartchain
+from repro.bench.harness import Scenario, run
 from repro.faults import (
     BehaviorSpec,
     CrashSpec,
@@ -73,12 +73,12 @@ class TestInjectorValidation:
         plan = FaultPlan(name="bad", behaviors=(
             BehaviorSpec("mute", nodes=(7,)),))
         with pytest.raises(FaultInjectionError, match=r"\[7\]"):
-            run_smartchain(clients=10, duration=0.2, faults=plan)
+            run(Scenario(clients=10, duration=0.2, faults=plan))
 
     def test_unknown_protocol_knob_rejected(self):
         plan = FaultPlan(name="bad", protocol={"not_a_knob": 1})
         with pytest.raises(FaultInjectionError, match="not_a_knob"):
-            run_smartchain(clients=10, duration=0.2, faults=plan)
+            run(Scenario(clients=10, duration=0.2, faults=plan))
 
     def test_double_install_rejected(self):
         injector = FaultInjector(FaultPlan(name="empty"))
@@ -87,10 +87,11 @@ class TestInjectorValidation:
             injector.install(None, None, {})
 
 
-def chaos_run(faults, *, seed=1, audit=True):
+def chaos_run(faults, *, seed=1, audit=True, engine="modsmart"):
     """A short audited SMARTCHAIN run under the given fault plan."""
-    return run_smartchain(clients=300, duration=2.0, seed=seed,
-                          observe=True, audit=audit, faults=faults)
+    return run(Scenario(clients=300, duration=2.0, seed=seed,
+                        observe=True, audit=audit, faults=faults,
+                        engine=engine))
 
 
 def kinds(result):

@@ -9,9 +9,7 @@ from repro.bench.harness import (
     DEFAULT_WARMUP,
     Scenario,
     run,
-    run_dura_smart,
     run_smartchain,
-    run_tendermint,
 )
 from repro.config import PersistenceVariant
 from repro.obs import PHASES, MetricsRegistry, Observability, PipelineTracer
@@ -178,8 +176,9 @@ class TestObservedRun:
 
 class TestScenarioAPI:
     def test_wrapper_seed_identical_to_scenario(self):
-        wrapped = run_smartchain(PersistenceVariant.WEAK, clients=200,
-                                 duration=1.5, seed=42)
+        with pytest.warns(DeprecationWarning):
+            wrapped = run_smartchain(PersistenceVariant.WEAK, clients=200,
+                                     duration=1.5, seed=42)
         direct = run(Scenario(system="smartchain",
                               variant=PersistenceVariant.WEAK,
                               clients=200, duration=1.5, seed=42))
@@ -188,9 +187,10 @@ class TestScenarioAPI:
         assert wrapped.latency_mean == direct.latency_mean
 
     def test_observability_does_not_perturb_results(self):
-        plain = run_dura_smart(clients=200, duration=1.5, seed=43)
-        observed = run_dura_smart(clients=200, duration=1.5, seed=43,
-                                  observe=True)
+        plain = run(Scenario(system="dura", clients=200, duration=1.5,
+                             seed=43))
+        observed = run(Scenario(system="dura", clients=200, duration=1.5,
+                                seed=43, observe=True))
         assert observed.throughput == plain.throughput
         assert observed.completed == plain.completed
         assert plain.report is None
@@ -202,7 +202,8 @@ class TestScenarioAPI:
 
     def test_warmup_unified_across_systems(self):
         assert Scenario().warmup == DEFAULT_WARMUP == 1.0
-        result = run_tendermint(clients=100, duration=2.0, seed=44)
+        result = run(Scenario(system="tendermint", clients=100,
+                              duration=2.0, seed=44))
         assert result.warmup == DEFAULT_WARMUP
 
     def test_handle_carries_live_objects(self):
@@ -213,7 +214,8 @@ class TestScenarioAPI:
         assert "handle" not in result.to_json()
 
     def test_result_metrics_are_json_safe(self):
-        result = run_dura_smart(clients=150, duration=1.5, seed=46)
+        result = run(Scenario(system="dura", clients=150, duration=1.5,
+                              seed=46))
         json.dumps(result.to_json())
         assert result.metrics["group_commits"] > 0
         assert result.metrics["mean_group_commit"] > 0

@@ -13,7 +13,7 @@ import pathlib
 import pytest
 
 from repro.bench.__main__ import main
-from repro.bench.harness import Scenario, run, run_naive_smartcoin
+from repro.bench.harness import Scenario, run
 from repro.bench.wallclock import WALLCLOCK_SCHEMA
 from repro.bench.wallclock import main as wallclock_main
 from repro.config import StorageMode, VerificationMode
@@ -102,9 +102,9 @@ class TestDeterminismUnderCaching:
 
     def test_table1_row_numbers_identical_cache_on_and_off(self):
         def row():
-            return run_naive_smartcoin(
-                VerificationMode.SEQUENTIAL, StorageMode.SYNC,
-                clients=300, duration=1.0, seed=5)
+            return run(Scenario(
+                system="naive", verification=VerificationMode.SEQUENTIAL,
+                storage=StorageMode.SYNC, clients=300, duration=1.0, seed=5))
 
         cached = row()
         set_caches_enabled(False)
@@ -122,9 +122,9 @@ class TestDeterminismUnderCaching:
         assert uncached.metrics["digest_cache_misses"] == 0
 
     def test_steady_state_digest_hit_rate(self):
-        result = run_naive_smartcoin(
-            VerificationMode.SEQUENTIAL, StorageMode.SYNC,
-            clients=1200, duration=2.5, seed=1)
+        result = run(Scenario(
+            system="naive", verification=VerificationMode.SEQUENTIAL,
+            storage=StorageMode.SYNC, clients=1200, duration=2.5, seed=1))
         hits = result.metrics["digest_cache_hits"]
         misses = result.metrics["digest_cache_misses"]
         assert hits + misses > 10_000  # the run actually exercised the cache
