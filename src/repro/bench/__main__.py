@@ -14,6 +14,7 @@ Examples::
     python -m repro.bench table1 --check-against benchmarks/results/BENCH_table1.json
     python -m repro.bench --engine fastbft              # engines head-to-head
     python -m repro.bench smartchain --engine fastbft --faults equivocate --audit
+    python -m repro.bench smartchain --faults leader-delay --audit-liveness
 
 ``--report PATH`` runs every row with observability enabled and writes a
 machine-readable bench report (schema ``repro.obs/bench-report/v1``): the
@@ -80,6 +81,8 @@ def _common(parser: argparse.ArgumentParser) -> None:
             ("--report", {"metavar": "PATH"}),
             ("--smoke", {"action": "store_true"}),
             ("--audit", {"action": "store_true"}),
+            ("--audit-liveness", {"action": "store_true",
+                                  "dest": "audit_liveness"}),
             ("--trace", {"metavar": "PATH"}),
             ("--events", {"metavar": "PATH"}),
             ("--faults", {"metavar": "PLAN"}),
@@ -127,6 +130,13 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="run the online safety auditor over the "
                              "protocol event stream (exit 2 on violation)")
+    parser.add_argument("--audit-liveness", action="store_true",
+                        dest="audit_liveness",
+                        help="run the online liveness auditor: bounded "
+                             "post-GST request latency plus wedge detection "
+                             "over the regency timeline (exit 2 on "
+                             "violation; bound/GST come from the fault "
+                             "plan's liveness hints)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the first row's run as Chrome "
                              "trace-event JSON (open in Perfetto)")
@@ -216,7 +226,8 @@ def _main(argv: list[str] | None = None) -> int:
                or baseline is not None)
     engine = args.engine or "modsmart"
     kwargs = dict(clients=args.clients, duration=args.duration,
-                  seed=args.seed, observe=observe, audit=args.audit)
+                  seed=args.seed, observe=observe, audit=args.audit,
+                  audit_liveness=args.audit_liveness)
 
     options = {"clients": args.clients, "duration": args.duration,
                "seed": args.seed}
@@ -233,7 +244,8 @@ def _main(argv: list[str] | None = None) -> int:
             rows = [run(Scenario(
                 system="smartchain", variant=PersistenceVariant.STRONG,
                 storage=StorageMode.SYNC, engine=engine,
-                observe=True, audit=args.audit, **options))]
+                observe=True, audit=args.audit,
+                audit_liveness=args.audit_liveness, **options))]
         elif args.experiment == "calibration":
             print(f"{'anchor':<36} {'paper':>8} {'measured':>9} {'ratio':>6}")
             for label, paper, measured, ratio in calibration_report(

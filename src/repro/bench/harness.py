@@ -122,6 +122,22 @@ class Scenario:
     #: Attach the online safety auditor (implies event recording); any
     #: invariant violation raises AuditError when the run finishes.
     audit: bool = False
+    #: Attach the online liveness auditor (implies event recording): every
+    #: request must be replied within ``liveness_bound`` of ``max(submit,
+    #: liveness_gst)``, and ``wedge_k`` consecutive decisionless regency
+    #: changes flag a wedge.  Violations raise AuditError when the run
+    #: finishes, exactly like ``audit``.
+    audit_liveness: bool = False
+    #: Post-GST commit-latency bound in simulated seconds.  ``None`` defers
+    #: to the fault plan's ``liveness`` hints, then to 1.0 s.
+    liveness_bound: float | None = None
+    #: Global stabilization time the bound is measured from.  ``None``
+    #: defers to the fault plan's hints, then to the cost model's network
+    #: GST.
+    liveness_gst: float | None = None
+    #: Consecutive decisionless regency changes that count as a wedge.
+    #: ``None`` defers to the fault plan's hints, then to 4.
+    wedge_k: int | None = None
     #: Bound on retained protocol events (oldest dropped and counted).
     event_capacity: int = 100_000
     #: Fault plan for adversarial runs: a :class:`repro.faults.FaultPlan`,
@@ -424,26 +440,48 @@ def run(scenario: Scenario) -> ExperimentResult:
         raise ValueError(
             f"unknown system {scenario.system!r}; "
             f"expected one of {sorted(_BUILDERS)}")
+    fault_plan = None
+    if scenario.faults is not None:
+        from repro.faults import load_plan
+        # Resolve the plan up front: the liveness auditor reads the plan's
+        # ``liveness`` hints (GST, bound) before the injector installs it.
+        fault_plan = load_plan(scenario.faults)
     record_events = scenario.record_events
     if record_events is None:
         record_events = scenario.observe
+    costs = scenario.costs or CostModel()
     obs = Observability(enabled=scenario.observe,
                         sample_every=scenario.trace_sample_every,
-                        record_events=record_events or scenario.audit,
+                        record_events=(record_events or scenario.audit
+                                       or scenario.audit_liveness),
                         event_capacity=scenario.event_capacity)
     auditor = SafetyAuditor() if scenario.audit else None
     if auditor is not None:
         auditor.attach(obs)
+    liveness = None
+    if scenario.audit_liveness:
+        from repro.obs.liveness import LivenessAuditor
+        hints = dict(getattr(fault_plan, "liveness", None) or {})
+        bound = scenario.liveness_bound
+        if bound is None:
+            bound = hints.get("bound", 1.0)
+        gst = scenario.liveness_gst
+        if gst is None:
+            gst = hints.get("gst", costs.network.gst)
+        wedge_k = scenario.wedge_k
+        if wedge_k is None:
+            wedge_k = hints.get("wedge_k", 4)
+        liveness = LivenessAuditor(bound=bound, gst=gst, wedge_k=wedge_k)
+        liveness.attach(obs)
     sim = Simulator(scenario.seed, obs=obs)
-    costs = scenario.costs or CostModel()
     built = builder(sim, scenario, costs)
-    if scenario.faults is not None:
+    if fault_plan is not None:
         from repro.faults import FaultInjector
         if built.replicas is None:
             raise ValueError(
                 f"system {scenario.system!r} does not support fault "
                 "injection (no replica runtimes to compromise)")
-        FaultInjector(scenario.faults).install(
+        FaultInjector(fault_plan).install(
             sim, built.network, built.replicas, built.nodes)
     for station in built.stations:
         station.start_all(stagger=0.002)
@@ -468,10 +506,32 @@ def run(scenario: Scenario) -> ExperimentResult:
     for key, before in cache_before.items():
         metrics[key] = cache_after[key] - before
     metrics["heap_compactions"] = sim.compactions
+    if built.replicas is not None:
+        # Synchronizer health rollup: how often the cluster changed leader,
+        # how often a progress watchdog fired, and the (possibly backed-off)
+        # timeout each regency was installed with (cluster-wide max, keyed
+        # by regency number as a string so the dict survives json.dumps).
+        synchronizers = [replica.synchronizer
+                         for replica in built.replicas.values()]
+        metrics["regency_changes"] = sum(
+            s.regency_changes for s in synchronizers)
+        metrics["watchdog_fires"] = sum(
+            s.watchdog_fires for s in synchronizers)
+        timeouts: dict[str, float] = {}
+        for sync in synchronizers:
+            for regency, timeout in sync.timeout_history.items():
+                key = str(regency)
+                timeouts[key] = max(timeouts.get(key, 0.0), timeout)
+        metrics["regency_timeouts"] = timeouts
     if obs.enabled:
         for key, before in cache_before.items():
             obs.metrics.counter(f"crypto.{key}").inc(cache_after[key] - before)
         obs.metrics.counter("sim.heap_compactions").inc(sim.compactions)
+        if built.replicas is not None:
+            obs.metrics.counter("sync.regency_changes").inc(
+                metrics["regency_changes"])
+            obs.metrics.counter("sync.watchdog_fires").inc(
+                metrics["watchdog_fires"])
     result = _measure(built.stations, scenario.duration,
                       scenario.label or built.label,
                       op_window=scenario.op_window,
@@ -479,10 +539,16 @@ def run(scenario: Scenario) -> ExperimentResult:
                       metrics=metrics)
     result.handle = RunHandle(scenario=scenario, sim=sim, obs=obs,
                               stations=built.stations, system=built.system)
+    if liveness is not None:
+        # Flag still-unreplied requests against the horizon before the
+        # report snapshots the auditor's summary.
+        liveness.finalize(scenario.duration)
     if scenario.observe:
         result.report = build_run_report(result, obs, scenario.duration)
     if auditor is not None:
         auditor.raise_if_violated()
+    if liveness is not None:
+        liveness.raise_if_violated()
     return result
 
 

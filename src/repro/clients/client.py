@@ -167,6 +167,9 @@ class ClientStation:
         obs = self.sim.obs
         if obs.trace_pipeline:
             obs.trace_request(request.key, "client_send", self.sim.now)
+        if obs.record_events:
+            obs.events.emit("request-submitted", self.id, self.sim.now,
+                            client=client.id, req=req_seq, size=spec.size)
         self._buffer.append(request)
         if self._flush_timer is None:
             self._flush_timer = self.sim.schedule(self.send_window, self._flush)
@@ -229,4 +232,8 @@ class ClientStation:
                 self.meter.record()
                 if obs.trace_pipeline:
                     obs.trace_request(key, "reply", sim.now)
+                if obs.record_events:
+                    obs.events.emit("request-replied", self.id, sim.now,
+                                    client=key[0], req=key[1],
+                                    latency=latency)
                 record.client._completed(record.spec, record.payloads[digest])

@@ -119,6 +119,21 @@ class SMRConfig:
     batch_size: int = 512                  # max transactions per consensus
     batch_timeout: float = 0.005           # propose a partial batch after this
     request_timeout: float = 2.0           # leader-change trigger
+    #: View-synchronizer timeout policy (Bravo, Chockler & Gotsman,
+    #: "Liveness and Latency of Byzantine SMR").  ``exponential`` grows the
+    #: leader-change timeout by ``timeout_backoff`` on every regency change
+    #: that happens without an intervening decision (capped at
+    #: ``timeout_max``) and resets it to ``request_timeout`` on progress, so
+    #: the synchronizer eventually outwaits any unknown post-GST delay
+    #: bound.  ``fixed`` is the legacy policy: every timer uses
+    #: ``request_timeout`` — under a message delay larger than it, the sync
+    #: phase can livelock (each SYNC overtaken by the next escalation).
+    synchronizer: str = "exponential"
+    #: Multiplier applied to the leader-change timeout per consecutive
+    #: failed regency change (exponential policy only).
+    timeout_backoff: float = 2.0
+    #: Upper bound on the backed-off leader-change timeout, in seconds.
+    timeout_max: float = 32.0
     verification: VerificationMode = VerificationMode.PARALLEL
     verify_pool_size: int = 16             # hardware threads per machine
     #: Maximum decided batches accumulated per group commit in the
@@ -144,6 +159,12 @@ class SMRConfig:
     def __post_init__(self) -> None:
         if self.n < 3 * self.f + 1:
             raise ValueError(f"n={self.n} cannot tolerate f={self.f} (need n >= 3f+1)")
+        if self.synchronizer not in ("exponential", "fixed"):
+            raise ValueError(
+                f"unknown synchronizer policy {self.synchronizer!r} "
+                "(expected 'exponential' or 'fixed')")
+        if self.timeout_backoff < 1.0:
+            raise ValueError("timeout_backoff must be >= 1")
 
     @property
     def quorum(self) -> int:

@@ -16,6 +16,10 @@ the real protocol — no hand-seeded event traces:
   consensus keys and, after a reconfiguration, replays PERSIST votes signed
   with the retired key (attacks the forgetting protocol end-to-end,
   Section V-D / Observation 3: the group must reject the stale signature).
+- :class:`StopSpamBehavior` — floods the group with unsolicited STOP votes
+  for regencies ahead of the current one (attacks the synchronization
+  phase: with ≤ f spammers the f+1 join threshold is never reached, so
+  correct replicas must keep the current leader and keep deciding).
 
 Behaviors are engine-agnostic: they consult the compromised replica's
 :class:`~repro.consensus.engine.ConsensusEngine` for which message types
@@ -36,7 +40,7 @@ from __future__ import annotations
 import random
 from typing import Any, Hashable
 
-from repro.consensus.messages import ProposeMsg, batch_wire_size
+from repro.consensus.messages import ProposeMsg, StopMsg, batch_wire_size
 from repro.core.persistence import PersistMsg
 from repro.crypto.hashing import hash_obj
 from repro.faults.plan import BehaviorSpec
@@ -49,6 +53,7 @@ __all__ = [
     "MuteBehavior",
     "WithholdVotesBehavior",
     "StaleReplayBehavior",
+    "StopSpamBehavior",
     "build_behavior",
 ]
 
@@ -292,11 +297,47 @@ class StaleReplayBehavior(Behavior):
                 replica.runtime.send_raw(dst, msg)
 
 
+class StopSpamBehavior(Behavior):
+    """STOP-vote spammer attacking the synchronization phase.
+
+    Inside its window the compromised replica periodically broadcasts
+    unsolicited STOP votes for regencies ahead of the current one
+    (``params['ahead']`` of them, default 2, every ``params['period']``
+    seconds, default 0.05).  Correct replicas only *join* a change once
+    f+1 distinct members vote for it, so with ≤ f spammers the votes can
+    never recruit anyone: the group must keep the current leader and keep
+    deciding.  The liveness auditor confirms that nothing wedges and no
+    request misses its bound.
+    """
+
+    def install(self) -> None:
+        super().install()
+        period = self.spec.params.get("period", 0.05)
+        self.replica.sim.schedule_at(self.spec.after + period, self._spam)
+
+    def _spam(self) -> None:
+        replica = self.replica
+        spec = self.spec
+        if spec.until is not None and replica.sim.now >= spec.until:
+            return  # window closed for good: stop rescheduling
+        if not replica.crashed and self.window_active():
+            self.activate(regency=replica.regency)
+            ahead = spec.params.get("ahead", 2)
+            for k in range(1, ahead + 1):
+                msg = StopMsg(next_regency=replica.regency + k)
+                # send_raw: the spam must not loop back through this chain.
+                for dst in replica.cv.members:
+                    if dst != replica.id:
+                        replica.runtime.send_raw(dst, msg)
+        replica.sim.schedule(spec.params.get("period", 0.05), self._spam)
+
+
 _BEHAVIOR_CLASSES = {
     "equivocate": EquivocateBehavior,
     "mute": MuteBehavior,
     "withhold-votes": WithholdVotesBehavior,
     "stale-replay": StaleReplayBehavior,
+    "stop-spam": StopSpamBehavior,
 }
 
 

@@ -33,7 +33,8 @@ __all__ = [
 ]
 
 #: Behaviors implemented in :mod:`repro.faults.behaviors`.
-BEHAVIOR_KINDS = ("equivocate", "mute", "withhold-votes", "stale-replay")
+BEHAVIOR_KINDS = ("equivocate", "mute", "withhold-votes", "stale-replay",
+                  "stop-spam")
 
 
 class FaultPlanError(ReproError):
@@ -143,6 +144,11 @@ class FaultPlan:
     #: ``{"request_timeout": 0.25}`` so a short chaos run still exercises
     #: the leader-change path (the default 2 s trigger outlasts the run).
     protocol: dict[str, Any] = field(default_factory=dict)
+    #: Hints for the liveness auditor (``Scenario(audit_liveness=True)``):
+    #: ``gst`` (when the plan's chaos settles into bounded delays),
+    #: ``bound`` (post-GST latency bound the plan is expected to meet) and
+    #: ``wedge_k``.  Explicit Scenario values win over these.
+    liveness: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "behaviors", tuple(self.behaviors))
@@ -173,6 +179,7 @@ class FaultPlan:
                 membership=tuple(MembershipAction(**action)
                                  for action in data.get("membership", ())),
                 protocol=dict(data.get("protocol", {})),
+                liveness=dict(data.get("liveness", {})),
             )
         except (KeyError, TypeError) as exc:
             raise FaultPlanError(f"malformed fault plan: {exc}") from exc
@@ -232,6 +239,70 @@ NAMED_PLANS: dict[str, FaultPlan] = {
         ),
     ),
 }
+
+
+def _replica_link_delays(at: float, seconds: float,
+                         n: int = 4) -> tuple[NetworkAction, ...]:
+    """Slow every inter-replica link (client links stay fast)."""
+    return tuple(NetworkAction("delay", at=at, src=src, dst=dst,
+                               seconds=seconds)
+                 for src in range(n) for dst in range(n) if src != dst)
+
+
+# Liveness-attacking plans (Bravo et al.): each pairs with
+# ``Scenario(audit_liveness=True)``.  The adversary here controls message
+# *timing*, not content — exactly the partial-synchrony threat model.
+NAMED_PLANS.update({
+    # Leader-targeted message delay: from t=0.4 the adversary holds every
+    # message the current leader exchanges with the group for 0.3 s — and
+    # since leadership rotates round-robin under escalation, every
+    # inter-replica link is slowed.  The delays are *bounded*, so the
+    # network is synchronous with an unknown Δ ≈ 0.3 s; the shortened
+    # fixed request timeout (0.25 s < Δ) sits below it.  Under the
+    # exponential synchronizer the timeout doubles past Δ within two
+    # regency changes and progress resumes (slowly); under the legacy
+    # fixed policy every SYNC is overtaken by the next escalation and the
+    # system wedges — see "leader-delay-fixed".
+    "leader-delay": FaultPlan(
+        name="leader-delay",
+        network=_replica_link_delays(at=0.4, seconds=0.3),
+        protocol={"request_timeout": 0.25},
+        liveness={"gst": 0.4, "bound": 4.0},
+    ),
+    # Negative control: the same attack against the legacy fixed-timeout
+    # synchronizer.  An audited run must FAIL (wedge + unreplied
+    # requests, exit code 2 on the CLI).
+    "leader-delay-fixed": FaultPlan(
+        name="leader-delay-fixed",
+        network=_replica_link_delays(at=0.4, seconds=0.3),
+        protocol={"request_timeout": 0.25, "synchronizer": "fixed"},
+        liveness={"gst": 0.4, "bound": 4.0},
+    ),
+    # Timeout-edge jitter: link delays oscillate just around the (short)
+    # request timeout, provoking spurious watchdog fires at the worst
+    # moments.  The synchronizer must absorb the churn — every change
+    # completes, the backoff resets once decisions resume, and no request
+    # misses its bound.
+    "timeout-jitter": FaultPlan(
+        name="timeout-jitter",
+        network=(_replica_link_delays(at=0.5, seconds=0.2)
+                 + _replica_link_delays(at=1.1, seconds=0.0)
+                 + _replica_link_delays(at=1.7, seconds=0.22)
+                 + _replica_link_delays(at=2.3, seconds=0.0)),
+        protocol={"request_timeout": 0.25},
+        liveness={"gst": 2.3, "bound": 3.0},
+    ),
+    # STOP spam: replica 3 floods the group with unsolicited STOP votes
+    # for regencies ahead of the current one.  With one spammer the f+1
+    # join threshold is never met, so the group must keep the leader and
+    # keep replying within the (tight) bound.
+    "stop-spam": FaultPlan(
+        name="stop-spam",
+        behaviors=(BehaviorSpec("stop-spam", nodes=(3,), after=0.4,
+                                params={"period": 0.05, "ahead": 2}),),
+        liveness={"bound": 1.0},
+    ),
+})
 
 
 def load_plan(source: "FaultPlan | dict | str") -> FaultPlan:

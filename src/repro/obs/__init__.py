@@ -26,6 +26,8 @@ Four protocol-level concerns ride the same hook (``repro.obs`` v2):
 - :mod:`repro.obs.audit` — the online safety auditor subscribed to that
   stream (agreement, no-fork, view monotonicity, 0-Persistence, the
   forgetting invariant);
+- :mod:`repro.obs.liveness` — the online liveness auditor (bounded
+  post-GST request latency, wedge detection over the regency timeline);
 - :mod:`repro.obs.traceview` — Chrome trace-event export (Perfetto);
 - :mod:`repro.obs.compare` — bench-report regression diffing
   (``--check-against``).
@@ -105,6 +107,9 @@ class Observability:
         self.events = EventLog(capacity=event_capacity)
         #: The attached SafetyAuditor, if any (set by SafetyAuditor.attach).
         self.auditor: Any = None
+        #: The attached LivenessAuditor, if any (set by
+        #: LivenessAuditor.attach).
+        self.liveness: Any = None
         #: Every Resource constructed on the owning simulator (self-registered).
         self.resources: list[Any] = []
         #: Every Network constructed on the owning simulator (self-registered).

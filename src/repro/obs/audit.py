@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.obs.events import EventLog, ProtocolEvent
+from repro.obs.events import CLIENT_KINDS, EventLog, ProtocolEvent
 
 __all__ = ["INVARIANTS", "Violation", "AuditError", "SafetyAuditor",
            "audit_event_log"]
@@ -145,10 +145,12 @@ class SafetyAuditor:
     # ------------------------------------------------------------------
     def on_event(self, event: ProtocolEvent) -> None:
         self.events_checked += 1
-        if event.kind != "reconfig" and event.node >= 0:
+        if (event.kind != "reconfig" and event.kind not in CLIENT_KINDS
+                and event.node >= 0):
             # Reconfig events may come from off-cluster submitters (the
-            # View Manager) and fault-injection events from the harness
-            # itself (node -1); everything else identifies a replica.
+            # View Manager), fault-injection events from the harness
+            # itself (node -1), and request lifecycle events from client
+            # stations (node 9000+); everything else identifies a replica.
             self._known.add(event.node)
         handler = getattr(self, "_on_" + event.kind.replace("-", "_"), None)
         if handler is not None:

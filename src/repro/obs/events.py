@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-__all__ = ["EVENT_KINDS", "ProtocolEvent", "EventLog"]
+__all__ = ["EVENT_KINDS", "CLIENT_KINDS", "ProtocolEvent", "EventLog"]
 
 #: Every event kind the protocol layers may emit.  ``emit`` rejects
 #: anything else so a typo cannot silently produce an unauditable stream.
@@ -46,7 +46,18 @@ EVENT_KINDS = frozenset({
     "stale-reject",         # core/blockchain_layer.py: retired-key vote refused
     "fault-injected",       # faults/inject.py: a FaultPlan action fired
     "behavior-activated",   # faults/behaviors.py: a Byzantine behavior engaged
+    "execute",              # smr/replica.py: a decision's batch executed
+    "request-submitted",    # clients/client.py: invocation left the station
+    "request-replied",      # clients/client.py: reply quorum met, client freed
+    "watchdog-armed",       # smr/leaderchange.py: progress watchdog scheduled
+    "watchdog-fired",       # smr/leaderchange.py: starvation detected
+    "sync-phase",           # smr/leaderchange.py: STOP/STOPDATA/SYNC steps
 })
+
+#: Event kinds emitted by client stations rather than replicas.  Their
+#: ``node`` is a *station* id (9000+), so membership-tracking consumers
+#: (the safety auditor's full-crash detection) must skip them.
+CLIENT_KINDS = frozenset({"request-submitted", "request-replied"})
 
 
 def _json_safe(value: Any) -> Any:

@@ -99,6 +99,9 @@ def build_run_report(result: Any, obs: Any, horizon: float) -> dict[str, Any]:
     auditor = getattr(obs, "auditor", None)
     if auditor is not None:
         report["audit"] = auditor.summary()
+    liveness = getattr(obs, "liveness", None)
+    if liveness is not None:
+        report["liveness"] = liveness.summary()
     return report
 
 
@@ -146,6 +149,17 @@ def validate_report(report: Any) -> dict[str, Any]:
             _require(key in audit, f"audit missing {key!r}")
         _require(isinstance(audit["violations"], list),
                  "audit violations is not a list")
+    if "liveness" in report:  # additive section (liveness auditor attached)
+        liveness = report["liveness"]
+        _require(isinstance(liveness, dict), "liveness is not a mapping")
+        for key in ("invariants", "bound_s", "gst_s", "wedge_k", "submitted",
+                    "replied", "outstanding", "regency_timeline",
+                    "latency_by_regency", "violations"):
+            _require(key in liveness, f"liveness missing {key!r}")
+        _require(isinstance(liveness["regency_timeline"], list),
+                 "liveness regency_timeline is not a list")
+        _require(isinstance(liveness["violations"], list),
+                 "liveness violations is not a list")
     _require(isinstance(report["phases"], dict), "phases is not a mapping")
     for phase, stats in report["phases"].items():
         for key in _PHASE_STAT_KEYS:

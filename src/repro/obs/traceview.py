@@ -6,6 +6,10 @@ viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
 
 - one *process* per replica carrying its protocol events as instant
   events ("i") on an ``events`` thread;
+- one flow ("s" → "f") per completed request, from its
+  ``request-submitted`` to its ``request-replied`` instant on the owning
+  client station's track, so a request's path — including across regency
+  changes — is visible as an arrow in the trace UI;
 - the designated pipeline replica additionally carries the consensus-level
   pipeline as duration events ("X"): for each traced consensus id, one
   slice per phase, spanning from the previous phase's mark;
@@ -28,8 +32,8 @@ from repro.obs.spans import PHASES
 __all__ = ["TRACE_PHASES", "build_trace", "validate_trace", "write_trace"]
 
 #: Chrome trace-event phase codes this exporter emits (M = metadata,
-#: X = complete/duration, i = instant, C = counter).
-TRACE_PHASES = ("M", "X", "i", "C")
+#: X = complete/duration, i = instant, C = counter, s/f = flow start/end).
+TRACE_PHASES = ("M", "X", "i", "C", "s", "f")
 
 _MICRO = 1_000_000
 #: pid offset for resource counter tracks (replica pids are the node ids).
@@ -49,6 +53,8 @@ def build_trace(obs: Any, horizon: float = 0.0,
     pids: dict[int, str] = {}
 
     # Protocol events: one instant event per record, one process per node.
+    submits: dict[tuple[Any, Any], Any] = {}
+    replies: dict[tuple[Any, Any], Any] = {}
     for record in sorted(obs.events, key=lambda e: e.sort_key):
         pids.setdefault(record.node, f"node-{record.node}")
         events.append({
@@ -60,6 +66,25 @@ def build_trace(obs: Any, horizon: float = 0.0,
             "tid": 0,
             "args": record.to_json(),
         })
+        if record.kind == "request-submitted":
+            key = (record.fields.get("client"), record.fields.get("req"))
+            submits.setdefault(key, record)
+        elif record.kind == "request-replied":
+            key = (record.fields.get("client"), record.fields.get("req"))
+            replies.setdefault(key, record)
+
+    # Request flows: one "s" → "f" arrow per completed request, anchored at
+    # its submit/reply instants on the owning station's track.  Flow ids
+    # are assigned in sorted request-key order, so they are deterministic.
+    for flow_id, key in enumerate(sorted(k for k in submits if k in replies),
+                                  start=1):
+        submit, reply = submits[key], replies[key]
+        common = {"name": "request", "cat": "request", "id": flow_id,
+                  "tid": 0, "args": {"client": key[0], "req": key[1]}}
+        events.append({**common, "ph": "s",
+                       "ts": _us(submit.time), "pid": submit.node})
+        events.append({**common, "ph": "f", "bp": "e",
+                       "ts": _us(reply.time), "pid": reply.node})
 
     # Pipeline slices on the designated replica: consecutive cid marks
     # become duration events attributed to the phase that finished the wait.
@@ -142,6 +167,9 @@ def validate_trace(trace: Any) -> dict[str, Any]:
             raise ValueError(f"traceEvents[{index}] has bad ts {event['ts']!r}")
         if event["ph"] == "X" and event.get("dur", -1) < 0:
             raise ValueError(f"traceEvents[{index}] X event without dur")
+        if event["ph"] in ("s", "f") and "id" not in event:
+            raise ValueError(
+                f"traceEvents[{index}] flow event without an id")
     return trace
 
 

@@ -8,6 +8,24 @@ leader re-proposes the highest vouched value — or declares a fresh start —
 via SYNC.  This preserves agreement: if any replica decided a value in the
 old regency, a WRITE quorum saw it, so at least one correct STOPDATA carries
 it to the new leader.
+
+Timeout policy (Bravo, Chockler & Gotsman, "Liveness and Latency of
+Byzantine SMR"): under the default ``exponential`` policy the leader-change
+timeout starts at ``config.request_timeout``, is multiplied by
+``config.timeout_backoff`` on every regency change that happens without an
+intervening decision (capped at ``config.timeout_max``), and resets to the
+base on progress.  A fixed timeout smaller than the actual post-GST message
+delay livelocks the sync phase — every SYNC is overtaken by the next
+escalation — whereas the growing timeout eventually outwaits any unknown
+delay bound, restoring bounded commit latency after GST.  The legacy
+behavior survives as ``config.synchronizer = "fixed"`` (the liveness fault
+plans use it as a negative control).
+
+The synchronizer is instrumented: ``watchdog-armed``/``watchdog-fired`` and
+``sync-phase`` protocol events (each carrying the timeout currently in
+effect) feed the liveness auditor (:mod:`repro.obs.liveness`), and
+``regency_changes``/``watchdog_fires``/``timeout_history`` surface as run
+metrics.
 """
 
 from __future__ import annotations
@@ -38,8 +56,28 @@ class Synchronizer:
         self._request_timer = None
         self._sync_timer = None
         self._last_progress = 0.0
+        self._last_decision = 0.0
+        #: Regency changes that happened without an intervening decision;
+        #: drives the exponential backoff and resets on progress.
+        self._failed_changes = 0
         # Statistics.
         self.regency_changes = 0
+        self.watchdog_fires = 0
+        #: regency -> leader-change timeout in effect when it was installed.
+        self.timeout_history: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Timeout policy
+    # ------------------------------------------------------------------
+    @property
+    def current_timeout(self) -> float:
+        """The leader-change timeout currently in effect."""
+        config = self.replica.config
+        base = config.request_timeout
+        if config.synchronizer == "fixed" or self._failed_changes == 0:
+            return base
+        return min(base * config.timeout_backoff ** self._failed_changes,
+                   config.timeout_max)
 
     # ------------------------------------------------------------------
     # Progress watchdog
@@ -51,22 +89,59 @@ class Synchronizer:
             return
         if replica.crashed or not replica.active:
             return
-        timeout = replica.config.request_timeout
+        timeout = self.current_timeout
         self._request_timer = replica.sim.schedule(
             timeout, replica.guard(self._watchdog))
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("watchdog-armed", timeout=timeout,
+                      regency=replica.regency)
 
     def on_progress(self) -> None:
-        """A decision was delivered: the current leader is doing its job."""
-        self._last_progress = self.replica.sim.now
+        """A decision was delivered: the current leader is doing its job.
+
+        The backoff decays one step per decision — and only when the gap
+        since the previous decision shows the *base* timeout would have
+        sufficed.  An unconditional reset re-enters the leader-change storm
+        after every single decision whenever the post-GST decision interval
+        exceeds the base timeout (storm → recover → reset → storm, the
+        oscillation the liveness auditor flags); a conditional decay keeps
+        the timeout at the level that is demonstrably needed, yet walks it
+        back to the base once the network is fast again.
+
+        The gap is measured decision-to-decision, not against the watchdog's
+        ``_last_progress`` (which SYNC adoption also refreshes): the first
+        decision after a SYNC always lands quickly, and judging the decay by
+        that gap would shed the backoff once per regency and re-enter the
+        storm.
+        """
+        now = self.replica.sim.now
+        if (self._failed_changes
+                and now - self._last_decision
+                <= self.replica.config.request_timeout):
+            self._failed_changes -= 1
+        self._last_decision = now
+        self._last_progress = now
 
     def _watchdog(self) -> None:
         self._request_timer = None
         replica = self.replica
         if not replica.pending or not replica.active:
             return
+        # Starvation is judged against the *current* (possibly backed-off)
+        # timeout, not the fixed config constant — otherwise a backed-off
+        # synchronizer would declare starvation long before its own timer
+        # policy considers the leader late.
         starved = (replica.sim.now - self._last_progress
-                   >= replica.config.request_timeout)
+                   >= self.current_timeout)
         if starved and not self.in_sync_phase:
+            self.watchdog_fires += 1
+            rt = replica.runtime
+            if rt.observing:
+                rt.notify("watchdog-fired",
+                          idle=replica.sim.now - self._last_progress,
+                          timeout=self.current_timeout,
+                          regency=replica.regency)
             self.request_change()
         self.arm_request_timer()
 
@@ -83,6 +158,10 @@ class Synchronizer:
         self._stop_sent_for = next_regency
         self.replica.trace.emit(self.replica.sim.now, "stop",
                                 replica=self.replica.id, regency=next_regency)
+        rt = self.replica.runtime
+        if rt.observing:
+            rt.notify("sync-phase", phase="stop", regency=next_regency,
+                      timeout=self.current_timeout)
         self.replica.broadcast_view(StopMsg(next_regency=next_regency))
 
     def on_message(self, src: int, msg: Message) -> None:
@@ -111,6 +190,10 @@ class Synchronizer:
             return
         replica.regency = regency
         self.regency_changes += 1
+        # The change itself is evidence the previous regency made no
+        # progress: back the timeout off until a decision lands.
+        self._failed_changes += 1
+        self.timeout_history[regency] = self.current_timeout
         self.in_sync_phase = True
         replica.cancel_batch_timer()
         for stale in [r for r in self._stop_votes if r <= regency]:
@@ -126,7 +209,8 @@ class Synchronizer:
         rt = replica.runtime
         if rt.observing:
             rt.notify("leader-change", regency=regency,
-                      leader=replica.cv.leader(regency))
+                      leader=replica.cv.leader(regency),
+                      timeout=self.current_timeout)
         stopdata = StopDataMsg(
             regency=regency,
             last_decided_cid=replica.last_decided,
@@ -134,6 +218,10 @@ class Synchronizer:
             writeset=writeset,
             size=64 + (sum(r.size for r in writeset[2]) if writeset else 0),
         )
+        if rt.observing:
+            rt.notify("sync-phase", phase="stopdata", regency=regency,
+                      leader=replica.cv.leader(regency),
+                      timeout=self.current_timeout)
         replica.send(replica.cv.leader(regency), stopdata)
         self._arm_sync_timeout()
         if replica.cv.leader(regency) == replica.id:
@@ -144,12 +232,17 @@ class Synchronizer:
         if self._sync_timer is not None:
             self._sync_timer.cancel()
         self._sync_timer = replica.sim.schedule(
-            replica.config.request_timeout, replica.guard(self._sync_timeout))
+            self.current_timeout, replica.guard(self._sync_timeout))
 
     def _sync_timeout(self) -> None:
         self._sync_timer = None
         if self.in_sync_phase:
             # The new leader also failed: escalate.
+            rt = self.replica.runtime
+            if rt.observing:
+                rt.notify("sync-phase", phase="sync-timeout",
+                          regency=self.replica.regency,
+                          timeout=self.current_timeout)
             self.request_change()
 
     # ------------------------------------------------------------------
@@ -202,6 +295,11 @@ class Synchronizer:
         size = 64 + (sum(r.size for r in batch) if batch else 0)
         replica.trace.emit(replica.sim.now, "sync-sent", replica=replica.id,
                            regency=regency, reproposed=batch is not None)
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("sync-phase", phase="sync", regency=regency,
+                      reproposed=batch is not None,
+                      timeout=self.current_timeout)
         replica.broadcast_view(SyncMsg(regency=regency, cid=cid, batch=batch,
                                        batch_hash=batch_hash,
                                        collected_from=tuple(collected),
@@ -222,6 +320,10 @@ class Synchronizer:
         self._last_progress = replica.sim.now
         replica.trace.emit(replica.sim.now, "sync-adopted", replica=replica.id,
                            regency=msg.regency)
+        rt = replica.runtime
+        if rt.observing:
+            rt.notify("sync-phase", phase="sync-adopted", regency=msg.regency,
+                      timeout=self.current_timeout)
         if msg.batch is not None and msg.cid == replica.last_decided + 1:
             # Adopt the re-proposal as if it were a PROPOSE from the leader.
             unseen = [r for r in msg.batch if r.key not in replica.seen]
@@ -244,6 +346,8 @@ class Synchronizer:
         self._stop_sent_for = -1
         self._synced_regency = -1
         self._last_progress = self.replica.sim.now
+        self._last_decision = self.replica.sim.now
+        self._failed_changes = 0
         if self._sync_timer is not None:
             self._sync_timer.cancel()
             self._sync_timer = None
@@ -259,3 +363,4 @@ class Synchronizer:
         self._stop_votes.clear()
         self._stopdata.clear()
         self._stop_sent_for = -1
+        self._failed_changes = 0

@@ -488,6 +488,10 @@ class ModSmartReplica:
         """Called by the delivery layer once a decision's batch executed."""
         self.last_executed = max(self.last_executed, decision.cid)
         self.executed_tx_count += len(decision.batch)
+        rt = self.runtime
+        if rt.observing:
+            rt.notify("execute", cid=decision.cid,
+                      batch=len(decision.batch), regency=decision.regency)
 
     def send_replies(self, results: dict[RequestKey, tuple[Any, bytes]],
                      requests: list[ClientRequest],

@@ -90,6 +90,81 @@ class TestLeaderCrash:
         assert logs[0] == logs[1] == logs[2]
 
 
+class TestExponentialBackoff:
+    def _sync(self, request_timeout=0.5, backoff=2.0, timeout_max=4.0,
+              policy="exponential"):
+        config = SMRConfig(n=4, f=1, request_timeout=request_timeout,
+                           synchronizer=policy, timeout_backoff=backoff,
+                           timeout_max=timeout_max)
+        _, _, _, replicas, _ = make_cluster(config=config)
+        return replicas[0].synchronizer
+
+    def test_timeout_doubles_per_failed_change_and_caps(self):
+        sync = self._sync()
+        assert sync.current_timeout == 0.5
+        expected = [1.0, 2.0, 4.0, 4.0, 4.0]  # capped at timeout_max
+        for failures, timeout in enumerate(expected, start=1):
+            sync._failed_changes = failures
+            assert sync.current_timeout == timeout
+
+    def test_fixed_policy_never_grows(self):
+        sync = self._sync(policy="fixed")
+        sync._failed_changes = 10
+        assert sync.current_timeout == 0.5
+
+    def test_fast_progress_decays_one_step(self):
+        sync = self._sync()
+        sync._failed_changes = 3
+        sync._last_decision = sync.replica.sim.now  # gap 0 <= base
+        sync.on_progress()
+        assert sync._failed_changes == 2
+
+    def test_slow_progress_holds_the_backoff(self):
+        # A decision that took longer than the base timeout is no evidence
+        # the base would suffice: the backoff must not decay below need.
+        sync = self._sync(request_timeout=0.5)
+        sync._failed_changes = 3
+        sync._last_decision = -1.0  # gap of 1.0 > base 0.5 at sim.now == 0
+        sync.on_progress()
+        assert sync._failed_changes == 3
+
+    def test_install_records_backed_off_timeout(self):
+        trace = TraceLog()
+        sim, network, view, replicas, apps = cluster_with_timeout(
+            seed=21, trace=trace)
+        station = station_with_clients(sim, network, lambda: view, 10,
+                                       lambda i: kv_ops(f"c{i}", 20))
+        station.start_all()
+        sim.schedule(0.05, replicas[0].crash)
+        sim.run(until=30.0)
+        assert station.meter.total == 200
+        survivor = replicas[1].synchronizer
+        assert survivor.regency_changes >= 1
+        assert survivor.watchdog_fires >= 1
+        # Every installed regency logged the timeout then in effect, and a
+        # first change always installs with one doubling applied.
+        assert set(survivor.timeout_history) == {
+            r for r in range(1, replicas[1].regency + 1)}
+        assert survivor.timeout_history[1] == 1.0
+
+    def test_fault_free_run_never_leaves_base_timeout(self):
+        sim, network, view, replicas, apps = cluster_with_timeout(seed=30)
+        station = station_with_clients(sim, network, lambda: view, 10,
+                                       lambda i: kv_ops(f"c{i}", 20))
+        station.start_all()
+        sim.run(until=20.0)
+        assert station.meter.total == 200
+        for replica in replicas:
+            assert replica.synchronizer.current_timeout == 0.5
+            assert replica.synchronizer.timeout_history == {}
+
+    def test_config_rejects_bad_synchronizer_settings(self):
+        with pytest.raises(ValueError):
+            SMRConfig(n=4, f=1, synchronizer="adaptive")
+        with pytest.raises(ValueError):
+            SMRConfig(n=4, f=1, timeout_backoff=0.5)
+
+
 class TestAsynchrony:
     def test_progress_despite_pre_gst_chaos(self):
         """Before GST messages are delayed arbitrarily; the system may churn

@@ -19,6 +19,8 @@ from repro.bench.wallclock import main as wallclock_main
 from repro.config import StorageMode, VerificationMode
 from repro.crypto.hashing import set_caches_enabled
 from repro.obs.compare import (
+    DEFAULT_LATENCY_TOLERANCE,
+    DEFAULT_THROUGHPUT_TOLERANCE,
     ComparisonResult,
     compare_reports,
     compare_wallclock,
@@ -156,6 +158,21 @@ class TestTraceExport:
         trace = build_trace(observed_run.handle.obs, horizon=3.0)
         validate_trace(json.loads(json.dumps(trace)))
 
+    def test_request_flow_arrows_pair_up(self, observed_run):
+        # Every completed request gets one "s" → "f" flow pair sharing an
+        # id, anchored at its submit/reply instants on the station track.
+        trace = validate_trace(build_trace(observed_run.handle.obs,
+                                           horizon=3.0))
+        starts = {e["id"]: e for e in trace["traceEvents"]
+                  if e["ph"] == "s"}
+        ends = {e["id"]: e for e in trace["traceEvents"] if e["ph"] == "f"}
+        assert starts and set(starts) == set(ends)
+        for flow_id, start in starts.items():
+            end = ends[flow_id]
+            assert start["ts"] <= end["ts"]
+            assert end["bp"] == "e"
+            assert start["args"] == end["args"]
+
     def test_validator_rejects_malformed_trace(self, observed_run):
         trace = json.loads(json.dumps(
             build_trace(observed_run.handle.obs, horizon=3.0)))
@@ -164,6 +181,11 @@ class TestTraceExport:
             validate_trace(trace)
         with pytest.raises(ValueError):
             validate_trace({"traceEvents": []})
+        flow = dict(next(e for e in trace["traceEvents"]
+                         if e["ph"] == "s"))
+        del flow["id"]
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": [flow]})
 
 
 class TestQuantiles:
@@ -216,6 +238,58 @@ class TestCompareReports:
         metrics = {d.metric for d in result.deviations}
         assert "presence" in metrics
         assert any(m.startswith("options.") for m in metrics)
+
+    def test_drift_exactly_at_band_edge_passes(self, bench_report):
+        # The band is inclusive: |current - baseline| <= tol * |baseline|.
+        # Binary-exact values (0.5 baseline, 0.25 tolerance) pin the edge
+        # without float rounding deciding the outcome.
+        assert DEFAULT_LATENCY_TOLERANCE == 0.25
+        baseline = copy.deepcopy(bench_report)
+        baseline["runs"][0]["summary"]["latency_mean_s"] = 0.5
+        tampered = copy.deepcopy(baseline)
+        tampered["runs"][0]["summary"]["latency_mean_s"] = 0.625  # +25%
+        assert compare_reports(baseline, tampered).ok
+        tampered["runs"][0]["summary"]["latency_mean_s"] = 0.375  # -25%
+        assert compare_reports(baseline, tampered).ok
+
+    def test_drift_just_beyond_band_edge_fails(self, bench_report):
+        baseline = copy.deepcopy(bench_report)
+        baseline["runs"][0]["summary"]["latency_mean_s"] = 0.5
+        tampered = copy.deepcopy(baseline)
+        tampered["runs"][0]["summary"]["latency_mean_s"] = 0.6251
+        result = compare_reports(baseline, tampered)
+        assert not result.ok
+        assert [d.metric for d in result.deviations] == ["latency_mean_s"]
+        tampered["runs"][0]["summary"]["latency_mean_s"] = 0.3749
+        assert not compare_reports(baseline, tampered).ok
+
+    def test_throughput_band_uses_its_own_tolerance(self, bench_report):
+        tampered = copy.deepcopy(bench_report)
+        summary = tampered["runs"][0]["summary"]
+        base = bench_report["runs"][0]["summary"]["throughput_tx_s"]
+        summary["throughput_tx_s"] = base * (
+            1.0 + DEFAULT_THROUGHPUT_TOLERANCE - 0.01)
+        assert compare_reports(bench_report, tampered).ok
+        summary["throughput_tx_s"] = base * (
+            1.0 + DEFAULT_THROUGHPUT_TOLERANCE + 0.01)
+        result = compare_reports(bench_report, tampered)
+        assert [d.metric for d in result.deviations] == ["throughput_tx_s"]
+
+    def test_zero_baseline_requires_zero_current(self, bench_report):
+        zeroed = copy.deepcopy(bench_report)
+        zeroed["runs"][0]["summary"]["throughput_tx_s"] = 0.0
+        tampered = copy.deepcopy(zeroed)
+        assert compare_reports(zeroed, tampered).ok
+        tampered["runs"][0]["summary"]["throughput_tx_s"] = 0.001
+        assert not compare_reports(zeroed, tampered).ok
+
+    def test_missing_metric_is_skipped_not_flagged(self, bench_report):
+        # A baseline predating a metric must not fail against newer reports
+        # (and vice versa): absent values are skipped, not treated as drift.
+        older = copy.deepcopy(bench_report)
+        del older["runs"][0]["summary"]["latency_p95_s"]
+        assert compare_reports(older, bench_report).ok
+        assert compare_reports(bench_report, older).ok
 
 
 class TestCompareWallclock:
