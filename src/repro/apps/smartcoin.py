@@ -19,6 +19,16 @@ Operation payloads (``request.op``):
 - ``("mint", issuer, ((value, nonce), ...))``
 - ``("spend", issuer, (coin_id, ...), ((recipient, amount), ...))``
 - ``("balance", address)`` — read-only helper for examples/tests.
+
+Cross-shard transfers (sharded deployments only — see
+:mod:`repro.ledger.xshard` and docs/sharding.md):
+- ``("xlock", issuer, (coin_id, ...), dest_shard, recipient)`` — burn the
+  input coins on this (source) shard and execute to an ``("xlocked",
+  xfer_id, dest_shard, value, recipient)`` result the destination shard
+  can later verify via a transfer certificate;
+- ``("xmint", issuer, certificate_record)`` — present a transfer
+  certificate on the destination shard; after stateless verification the
+  locked value is minted for the recipient, exactly once per transfer id.
 """
 
 from __future__ import annotations
@@ -32,11 +42,18 @@ from repro.crypto.hashing import hash_obj
 from repro.smr.requests import ClientRequest
 from repro.smr.service import Application, ExecutionResult
 
-__all__ = ["SmartCoin", "Wallet", "MINT_SIZES", "SPEND_SIZES", "coin_id"]
+__all__ = ["SmartCoin", "Wallet", "MINT_SIZES", "SPEND_SIZES",
+           "XLOCK_SIZES", "XMINT_SIZES", "coin_id"]
 
 #: (request bytes, reply bytes) — Section IV-B, Observation 1.
 MINT_SIZES = (180, 270)
 SPEND_SIZES = (310, 380)
+#: Cross-shard lock: a SPEND-shaped request whose reply carries the lock
+#: result the client will prove to the destination shard.
+XLOCK_SIZES = (310, 380)
+#: Cross-shard mint: the request carries a full transfer certificate
+#: (header 144 B + quorum certificate + Merkle path), hence the size.
+XMINT_SIZES = (720, 380)
 
 #: In-memory bookkeeping bytes per UTXO, used to size snapshots.  The paper's
 #: Figure 7 state of 8M UTXOs ≈ 1 GB gives ≈128 B per coin.
@@ -88,6 +105,21 @@ class SmartCoin(Application):
         self.minted_total = 0
         self.spent_total = 0
         self.rejected = 0
+        #: Cross-shard state (all zero/empty in single-shard deployments,
+        #: which keeps snapshots and state digests byte-identical to the
+        #: pre-sharding format — see :meth:`snapshot`).
+        #: Transfer ids already minted on this shard (each exactly once).
+        self.redeemed: set[str] = set()
+        #: Value burned by xlock (left this shard) / minted by xmint
+        #: (arrived on this shard) — the conservation ledger.
+        self.xlock_value_out = 0
+        self.xmint_value_in = 0
+        #: Stateless certificate validator, installed by the sharded
+        #: deployment (``None`` = this shard accepts no transfers).
+        self.transfer_verifier: Any = None
+        #: Observability hook ``(kind, **fields)`` for cert-redeemed /
+        #: cert-rejected events, installed per node by the harness.
+        self.event_hook: Any = None
 
     # ------------------------------------------------------------------
     # Execution
@@ -99,6 +131,10 @@ class SmartCoin(Application):
             result = self._mint(request, op)
         elif kind == "spend":
             result = self._spend(request, op)
+        elif kind == "xlock":
+            result = self._xlock(request, op)
+        elif kind == "xmint":
+            result = self._xmint(request, op)
         elif kind == "balance":
             result = self.balance(op[1])
         else:
@@ -240,6 +276,72 @@ class SmartCoin(Application):
         return ("spent", tuple(created))
 
     # ------------------------------------------------------------------
+    # Cross-shard transfers (two-phase: lock-and-burn, then mint)
+    # ------------------------------------------------------------------
+    def _xlock(self, request: ClientRequest, op: tuple) -> Any:
+        from repro.ledger.xshard import transfer_id
+
+        _, issuer, inputs, dest_shard, recipient = op
+        coins = self.coins
+        total_in = 0
+        for cid in inputs:
+            coin = coins.get(cid)
+            if coin is None:
+                self.rejected += 1
+                return ("error", f"coin {cid} does not exist (double spend?)")
+            owner, value = coin
+            if owner != issuer:
+                self.rejected += 1
+                return ("error", f"coin {cid} is not owned by the issuer")
+            total_in += value
+        if total_in <= 0:
+            self.rejected += 1
+            return ("error", "nothing to lock")
+        if not isinstance(dest_shard, int) or dest_shard < 0:
+            self.rejected += 1
+            return ("error", "invalid destination shard")
+        for cid in inputs:
+            del coins[cid]
+        self.xlock_value_out += total_in
+        xfer_id = transfer_id(request.client_id, request.req_id)
+        # The repr of this result is what the destination shard's verifier
+        # parses out of the transfer certificate; every field it needs to
+        # mint — the transfer id, its own shard number, the value and the
+        # recipient — is committed under the block's result Merkle root.
+        return ("xlocked", xfer_id, dest_shard, total_in, recipient)
+
+    def _xmint(self, request: ClientRequest, op: tuple) -> Any:
+        _, _issuer, cert_record = op
+        verifier = self.transfer_verifier
+        if verifier is None:
+            self.rejected += 1
+            return self._reject_cert("this shard accepts no transfers",
+                                     xfer="?")
+        verdict = verifier.verify(cert_record)
+        if verdict[0] == "error":
+            self.rejected += 1
+            return self._reject_cert(verdict[1], xfer="?")
+        _tag, xfer_id, _dest_shard, value, recipient = verdict
+        if xfer_id in self.redeemed:
+            self.rejected += 1
+            return self._reject_cert("transfer certificate already redeemed",
+                                     xfer=xfer_id, replay=True)
+        cid = coin_id(request.client_id, request.req_id, 0)
+        self.coins[cid] = (recipient, value)
+        self.redeemed.add(xfer_id)
+        self.xmint_value_in += value
+        if self.event_hook is not None:
+            self.event_hook("cert-redeemed", xfer=xfer_id, value=value)
+        return ("xminted", (cid,), xfer_id, value)
+
+    def _reject_cert(self, reason: str, xfer: str,
+                     replay: bool = False) -> tuple:
+        if self.event_hook is not None:
+            self.event_hook("cert-rejected", xfer=xfer, reason=reason,
+                            replay=replay)
+        return ("error", reason)
+
+    # ------------------------------------------------------------------
     # Queries (used by examples and tests, not part of consensus)
     # ------------------------------------------------------------------
     def balance(self, address: str) -> int:
@@ -256,23 +358,47 @@ class SmartCoin(Application):
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
+    def _has_cross_shard_state(self) -> bool:
+        return bool(self.redeemed or self.xlock_value_out
+                    or self.xmint_value_in)
+
     def snapshot(self) -> tuple[Any, int]:
         nbytes = max(64, len(self.coins) * BYTES_PER_COIN
                      + self.synthetic_state_bytes)
         state = (dict(self.coins), frozenset(self.minters),
                  self.minted_total, self.spent_total)
+        # Cross-shard bookkeeping extends the snapshot only once it is
+        # non-empty: single-shard runs keep the pre-sharding 4-tuple format
+        # byte-for-byte (state-transfer wire bytes, digests, traces).
+        if self._has_cross_shard_state():
+            state = state + (frozenset(self.redeemed),
+                             self.xlock_value_out, self.xmint_value_in)
+            nbytes += 40 * len(self.redeemed)
         return state, nbytes
 
     def install_snapshot(self, snapshot: Any) -> None:
-        coins, minters, minted, spent = snapshot
+        coins, minters, minted, spent = snapshot[:4]
         self.coins = dict(coins)
         self.minters = set(minters)
         self.minted_total = minted
         self.spent_total = spent
+        if len(snapshot) > 4:
+            redeemed, lock_out, mint_in = snapshot[4:]
+            self.redeemed = set(redeemed)
+            self.xlock_value_out = lock_out
+            self.xmint_value_in = mint_in
+        else:
+            self.redeemed = set()
+            self.xlock_value_out = 0
+            self.xmint_value_in = 0
 
     def state_digest(self) -> bytes:
-        return hash_obj((sorted(self.coins.items()), sorted(self.minters),
-                         self.minted_total, self.spent_total))
+        base = (sorted(self.coins.items()), sorted(self.minters),
+                self.minted_total, self.spent_total)
+        if self._has_cross_shard_state():
+            base = base + (sorted(self.redeemed), self.xlock_value_out,
+                           self.xmint_value_in)
+        return hash_obj(base)
 
 
 @dataclass
@@ -295,6 +421,14 @@ class Wallet:
         cid, value = coin
         return ("spend", self.address, (cid,), ((recipient, value),))
 
+    def xlock_op(self, coin: tuple[str, int], dest_shard: int,
+                 recipient: str) -> tuple:
+        cid, _value = coin
+        return ("xlock", self.address, (cid,), dest_shard, recipient)
+
+    def xmint_op(self, cert_record: tuple) -> tuple:
+        return ("xmint", self.address, cert_record)
+
     def note_result(self, op: tuple, result: Any) -> None:
         """Update owned coins from an executed operation's result."""
         if not isinstance(result, tuple) or not result:
@@ -306,6 +440,12 @@ class Wallet:
         elif status == "spent" and op[0] == "spend":
             spent_ids = set(op[2])
             self.owned = [c for c in self.owned if c[0] not in spent_ids]
+        elif status == "xlocked" and op[0] == "xlock":
+            locked_ids = set(op[2])
+            self.owned = [c for c in self.owned if c[0] not in locked_ids]
+        elif status == "xminted" and op[0] == "xmint":
+            # ("xminted", (coin_id,), xfer_id, value)
+            self.owned.append((result[1][0], result[3]))
 
     def take_coin(self) -> tuple[str, int] | None:
         return self.owned.pop() if self.owned else None

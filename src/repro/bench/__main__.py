@@ -15,6 +15,8 @@ Examples::
     python -m repro.bench --engine fastbft              # engines head-to-head
     python -m repro.bench smartchain --engine fastbft --faults equivocate --audit
     python -m repro.bench smartchain --faults leader-delay --audit-liveness
+    python -m repro.bench shards                        # sharded scaling sweep
+    python -m repro.bench smartchain --shards 2 --cross-shard-fraction 0.1
 
 ``--report PATH`` runs every row with observability enabled and writes a
 machine-readable bench report (schema ``repro.obs/bench-report/v1``): the
@@ -68,6 +70,8 @@ EXPERIMENTS = {
     "smartchain": ("1 row", "one SMARTCHAIN config (--variant/--storage/--n)"),
     "engines": ("2+ rows", "consensus engines head-to-head (--engine picks "
                 "the challenger)"),
+    "shards": ("6 rows", "sharded scaling sweep — shard count x cross-shard "
+               "fraction (see docs/sharding.md)"),
 }
 
 
@@ -165,9 +169,14 @@ def _main(argv: list[str] | None = None) -> int:
     parser.set_defaults(clients=1200, duration=2.5, seed=1)
     sub = parser.add_subparsers(dest="experiment")
 
-    for name in ("table1", "table2", "calibration", "engines"):
+    for name in ("table1", "table2", "calibration", "engines", "shards"):
         p = sub.add_parser(name)
         _common(p)
+        if name == "shards":
+            # Scaling only shows once a single group saturates its
+            # ordering pipeline; the default client population is the
+            # paper's full closed-loop count, not the lighter bench one.
+            p.set_defaults(clients=2400)
 
     p = sub.add_parser("smartchain")
     _common(p)
@@ -175,6 +184,12 @@ def _main(argv: list[str] | None = None) -> int:
     p.add_argument("--storage", choices=["sync", "async", "memory"],
                    default="sync")
     p.add_argument("--n", type=int, default=4)
+    p.add_argument("--shards", type=int, default=1,
+                   help="number of independent replica groups")
+    p.add_argument("--cross-shard-fraction", type=float, default=0.0,
+                   dest="cross_shard_fraction",
+                   help="fraction of SPENDs that become two-phase "
+                        "cross-shard transfers")
 
     args = parser.parse_args(argv)
     if args.list_experiments:
@@ -300,11 +315,25 @@ def _main(argv: list[str] | None = None) -> int:
                                  storage=StorageMode.SYNC,
                                  faults=fault_plan, **kwargs))
                     for contender in contenders]
+        elif args.experiment == "shards":
+            # Scaling sweep: independent groups should scale aggregate
+            # throughput near-linearly at 0% cross-shard traffic; the 10%
+            # columns price the two-phase transfer protocol.
+            experiment = "shards"
+            rows = [run(Scenario(system="smartchain", engine=engine,
+                                 shards=shards, cross_shard_fraction=fraction,
+                                 label=f"SmartChain shards={shards} "
+                                       f"x={fraction:g}",
+                                 **kwargs))
+                    for shards in (1, 2, 4)
+                    for fraction in (0.0, 0.1)]
         else:  # smartchain
             experiment = "smartchain"
             rows = [run(Scenario(
                 system="smartchain", variant=PersistenceVariant(args.variant),
                 storage=StorageMode(args.storage), n=args.n, engine=engine,
+                shards=args.shards,
+                cross_shard_fraction=args.cross_shard_fraction,
                 faults=fault_plan, **kwargs))]
     finally:
         if profiler is not None:

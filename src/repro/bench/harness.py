@@ -77,6 +77,18 @@ DEFAULT_WARMUP = 1.0
 #: Back-compat alias (pre-Scenario name).
 WARMUP = DEFAULT_WARMUP
 
+#: Systems a Scenario may name (the keys of ``_BUILDERS``, spelled out
+#: here so :meth:`Scenario.__post_init__` can validate at construction).
+_VALID_SYSTEMS = frozenset(
+    {"smartchain", "naive", "dura", "tendermint", "fabric"})
+
+#: Systems whose replicas host a pluggable consensus engine.
+_ENGINE_SYSTEMS = frozenset({"smartchain", "naive", "dura"})
+
+#: Workload generators :func:`repro.workloads.coingen.deploy_clients`
+#: understands.
+_VALID_WORKLOADS = frozenset({"mint", "spend", "mint_then_spend"})
+
 
 # ----------------------------------------------------------------------
 # Scenario: the single description of an experiment
@@ -98,6 +110,14 @@ class Scenario:
     #: Consensus engine key (see repro.consensus.engine_names()); applies
     #: to the engine-hosting systems (smartchain/naive/dura).
     engine: str = "modsmart"
+    #: Number of independent replica groups (``system="smartchain"`` only).
+    #: ``1`` is the classic single-group deployment, byte-identical to the
+    #: pre-sharding harness.
+    shards: int = 1
+    #: Fraction of SPEND operations that become two-phase cross-shard
+    #: transfers (LOCK-and-burn on the source shard, certificate-verified
+    #: mint on the destination).  Ignored when ``shards == 1``.
+    cross_shard_fraction: float = 0.0
     n: int = 4
     clients: int = 2400
     duration: float = 4.0
@@ -145,8 +165,50 @@ class Scenario:
     #: string, or ``None`` for a fault-free run.
     faults: Any = None
 
+    def __post_init__(self) -> None:
+        """Fail fast on unknown names and out-of-range sharding knobs.
+
+        A typo'd system/engine/workload used to surface only deep inside
+        :func:`run` (or worse, fall through to a default workload); here it
+        raises at Scenario *construction*, before any simulation exists.
+        """
+        if self.system not in _VALID_SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; "
+                f"expected one of {sorted(_VALID_SYSTEMS)}")
+        if self.system in _ENGINE_SYSTEMS:
+            from repro.consensus import engine_names
+            names = engine_names()
+            if self.engine not in names:
+                raise ValueError(
+                    f"unknown consensus engine {self.engine!r}; "
+                    f"expected one of {sorted(names)}")
+        if self.workload not in _VALID_WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"expected one of {sorted(_VALID_WORKLOADS)}")
+        from repro.core.multichain import MAX_SHARDS
+        if not 1 <= self.shards <= MAX_SHARDS:
+            raise ValueError(
+                f"shards must be in 1..{MAX_SHARDS}, got {self.shards}")
+        if self.shards > 1 and self.system != "smartchain":
+            raise ValueError(
+                f"sharding requires system='smartchain', "
+                f"got {self.system!r}")
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ValueError(
+                f"cross_shard_fraction must be in [0, 1], "
+                f"got {self.cross_shard_fraction}")
+
     def describe(self) -> dict[str, Any]:
         """JSON-safe summary of the scenario (for bench reports)."""
+        if self.shards > 1:  # additive: single-group summaries unchanged
+            return {**self._describe_base(),
+                    "shards": self.shards,
+                    "cross_shard_fraction": self.cross_shard_fraction}
+        return self._describe_base()
+
+    def _describe_base(self) -> dict[str, Any]:
         return {
             "system": self.system,
             "engine": self.engine,
@@ -296,6 +358,8 @@ class _Built:
 
 def _build_smartchain(sim: Simulator, sc: Scenario,
                       costs: CostModel) -> _Built:
+    if sc.shards > 1:
+        return _build_multishard(sim, sc, costs)
     f = (sc.n - 1) // 3
     config = SmartChainConfig(
         smr=SMRConfig(n=sc.n, f=f, verification=sc.verification),
@@ -326,6 +390,98 @@ def _build_smartchain(sim: Simulator, sc: Scenario,
         replicas={nid: node.replica
                   for nid, node in consortium.nodes.items()},
         nodes=dict(consortium.nodes))
+
+
+def _event_app_hook(sim: Simulator, node_id: int) -> Callable[..., None]:
+    """An application-level event emitter bound to one node's identity."""
+    def hook(kind: str, **fields: Any) -> None:
+        obs = sim.obs
+        if obs.record_events:
+            obs.events.emit(kind, node_id, sim.now, **fields)
+    return hook
+
+
+def _build_multishard(sim: Simulator, sc: Scenario,
+                      costs: CostModel) -> _Built:
+    """``sc.shards`` independent SMARTCHAIN groups on one substrate.
+
+    Mirrors :func:`_build_smartchain` per group, then wires the pieces the
+    single-group path has no use for: a :class:`TransferVerifier` per shard
+    (so replicas can statelessly verify other shards' lock certificates),
+    an application event hook per node (typed ``cert-redeemed`` /
+    ``cert-rejected`` events for the cross-shard auditor) and the sharded
+    client deployment with routed stations.
+    """
+    from repro.core.multichain import bootstrap_shards
+    from repro.ledger.xshard import TransferVerifier
+    from repro.workloads.coingen import deploy_sharded_clients
+
+    f = (sc.n - 1) // 3
+    minters = all_minter_addresses(sc.clients)
+
+    def config_factory(shard: int) -> SmartChainConfig:
+        return SmartChainConfig(
+            smr=SMRConfig(n=sc.n, f=f, verification=sc.verification),
+            variant=sc.variant,
+            storage=sc.storage,
+            checkpoint_period=sc.checkpoint_period,
+        )
+
+    multichain = bootstrap_shards(
+        sim, sc.shards, sc.n,
+        lambda shard: SmartCoin(minters=minters),
+        config_factory, costs=costs, engine=sc.engine)
+    genesis_by_shard = {shard: multichain.genesis_of(shard)
+                        for shard in range(sc.shards)}
+    record_events = sim.obs.record_events
+    for shard in range(sc.shards):
+        verifier = TransferVerifier(shard, multichain.registry,
+                                    genesis_by_shard)
+        for node in multichain.group(shard).nodes.values():
+            node.app.transfer_verifier = verifier
+            if record_events:
+                node.app.event_hook = _event_app_hook(sim, node.id)
+    stations, _wallets = deploy_sharded_clients(
+        sim, multichain.network, multichain, sc.clients,
+        cross_shard_fraction=sc.cross_shard_fraction,
+        workload=sc.workload, signed=_signed(sc.verification))
+    label = (f"SmartChain {sc.variant.value} "
+             f"({sc.storage.value}, {sc.verification.value}, n={sc.n}, "
+             f"shards={sc.shards}")
+    if sc.cross_shard_fraction > 0:
+        label = f"{label}, x={sc.cross_shard_fraction:g}"
+    label = f"{label})"
+    if sc.engine != "modsmart":
+        label = f"{label[:-1]}, {sc.engine})"
+
+    def metrics() -> dict[str, Any]:
+        per_shard: dict[str, dict[str, Any]] = {}
+        blocks = certificates = redeemed = 0
+        for shard, group in enumerate(multichain.groups):
+            node0 = min(group.nodes.values(), key=lambda node: node.id)
+            app = node0.app
+            entry = {
+                "blocks": node0.delivery.blocks_built,
+                "certificates": node0.delivery.certs_completed,
+                "redeemed": len(app.redeemed),
+                "xlock_value_out": app.xlock_value_out,
+                "xmint_value_in": app.xmint_value_in,
+            }
+            per_shard[str(shard)] = entry
+            blocks += entry["blocks"]
+            certificates += entry["certificates"]
+            redeemed += entry["redeemed"]
+        return {
+            "blocks": blocks,
+            "certificates": certificates,
+            "transfers_redeemed": redeemed,
+            "per_shard": per_shard,
+        }
+
+    return _Built(stations, label, multichain, metrics,
+                  network=multichain.network,
+                  replicas=multichain.replicas(),
+                  nodes=multichain.nodes())
 
 
 def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory,
@@ -455,8 +611,22 @@ def run(scenario: Scenario) -> ExperimentResult:
                         record_events=(record_events or scenario.audit
                                        or scenario.audit_liveness),
                         event_capacity=scenario.event_capacity)
-    auditor = SafetyAuditor() if scenario.audit else None
-    if auditor is not None:
+    auditor = None
+    if scenario.audit:
+        if scenario.shards > 1:
+            # One scoped safety auditor per shard (consensus ids and block
+            # heights restart per group, so one global auditor would flag
+            # phantom agreement violations), plus the cross-shard
+            # no-double-mint invariant over cert-redemption events.
+            from repro.core.multichain import shard_of_node
+            from repro.obs.shard import (CrossShardAuditor, ShardAuditGroup,
+                                         ShardScopedSafetyAuditor)
+            auditor = ShardAuditGroup(
+                [ShardScopedSafetyAuditor(shard, shard_of_node)
+                 for shard in range(scenario.shards)],
+                cross=CrossShardAuditor())
+        else:
+            auditor = SafetyAuditor()
         auditor.attach(obs)
     liveness = None
     if scenario.audit_liveness:
@@ -471,7 +641,19 @@ def run(scenario: Scenario) -> ExperimentResult:
         wedge_k = scenario.wedge_k
         if wedge_k is None:
             wedge_k = hints.get("wedge_k", 4)
-        liveness = LivenessAuditor(bound=bound, gst=gst, wedge_k=wedge_k)
+        if scenario.shards > 1:
+            # Per-shard regency timelines: shard 1's leader changes must
+            # not reset shard 0's wedge counter (and vice versa).
+            from repro.core.multichain import shard_of_node
+            from repro.obs.shard import (ShardLivenessGroup,
+                                         ShardScopedLivenessAuditor)
+            liveness = ShardLivenessGroup(
+                [ShardScopedLivenessAuditor(shard, shard_of_node,
+                                            bound=bound, gst=gst,
+                                            wedge_k=wedge_k)
+                 for shard in range(scenario.shards)])
+        else:
+            liveness = LivenessAuditor(bound=bound, gst=gst, wedge_k=wedge_k)
         liveness.attach(obs)
     sim = Simulator(scenario.seed, obs=obs)
     built = builder(sim, scenario, costs)
@@ -481,8 +663,26 @@ def run(scenario: Scenario) -> ExperimentResult:
             raise ValueError(
                 f"system {scenario.system!r} does not support fault "
                 "injection (no replica runtimes to compromise)")
-        FaultInjector(fault_plan).install(
-            sim, built.network, built.replicas, built.nodes)
+        plan = fault_plan
+        replicas = built.replicas
+        nodes = built.nodes
+        if plan.shard is not None:
+            # Shard-scoped plan: translate its shard-relative node ids to
+            # global ids and confine the injection surface to that shard's
+            # runtimes, so protocol overrides, crashes and partitions
+            # cannot leak into other groups.
+            from repro.core.multichain import SHARD_STRIDE, shard_of_node
+            if plan.shard >= scenario.shards:
+                raise ValueError(
+                    f"fault plan {plan.name!r} targets shard {plan.shard} "
+                    f"but the scenario has {scenario.shards} shard(s)")
+            plan = plan.scoped_to(plan.shard * SHARD_STRIDE)
+            replicas = {nid: replica for nid, replica in replicas.items()
+                        if shard_of_node(nid) == plan.shard}
+            nodes = ({nid: node for nid, node in nodes.items()
+                      if shard_of_node(nid) == plan.shard}
+                     if nodes is not None else None)
+        FaultInjector(plan).install(sim, built.network, replicas, nodes)
     for station in built.stations:
         station.start_all(stagger=0.002)
     # Start cold so the per-run cache deltas reported below are
@@ -532,6 +732,13 @@ def run(scenario: Scenario) -> ExperimentResult:
                 metrics["regency_changes"])
             obs.metrics.counter("sync.watchdog_fires").inc(
                 metrics["watchdog_fires"])
+        for shard, entry in metrics.get("per_shard", {}).items():
+            obs.metrics.counter(f"shard.{shard}.blocks").inc(
+                entry["blocks"])
+            obs.metrics.counter(f"shard.{shard}.certificates").inc(
+                entry["certificates"])
+            obs.metrics.counter(f"shard.{shard}.transfers_redeemed").inc(
+                entry["redeemed"])
     result = _measure(built.stations, scenario.duration,
                       scenario.label or built.label,
                       op_window=scenario.op_window,

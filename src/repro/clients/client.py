@@ -34,6 +34,10 @@ class OpSpec:
     reply_size: int = 128    # reply bytes (paper: 270 MINT / 380 SPEND)
     signed: bool = True
     special: str = ""
+    #: Target shard in a sharded deployment (``None`` = the station's own
+    #: group).  Stations with a router send the request to that shard's
+    #: replicas and match its reply quorum (cross-shard ``xmint``).
+    shard: int | None = None
 
 
 @dataclass(slots=True)
@@ -105,6 +109,7 @@ class ClientStation:
         view_of: Callable[[], View],
         send_window: float = 0.001,
         resend_timeout: float = 8.0,
+        router: Callable[[int], Callable[[], View]] | None = None,
     ):
         self.sim = sim
         self.net = network
@@ -112,6 +117,11 @@ class ClientStation:
         self.view_of = view_of
         self.send_window = send_window
         self.resend_timeout = resend_timeout
+        #: Sharded deployments: maps a shard number to that group's live
+        #: view thunk, so requests whose OpSpec names a shard reach the
+        #: right replicas.  ``None`` keeps the classic single-group path
+        #: (bit-for-bit identical behavior).
+        self.router = router
         self.clients: dict[int, Client] = {}
         self._client_ids = itertools.count(10_000 + station_id * 100_000)
         self.outstanding: dict[RequestKey, _Outstanding] = {}
@@ -180,11 +190,30 @@ class ClientStation:
         if not self._buffer:
             return
         batch, self._buffer = self._buffer, []
-        view = self.view_of()
-        nbytes = sum(r.size for r in batch) + 16 * len(batch)
-        for replica_id in view.members:
-            self.net.send(self.id, replica_id,
-                          RequestBatchMsg(requests=batch, size=nbytes))
+        if self.router is None:
+            view = self.view_of()
+            nbytes = sum(r.size for r in batch) + 16 * len(batch)
+            for replica_id in view.members:
+                self.net.send(self.id, replica_id,
+                              RequestBatchMsg(requests=batch, size=nbytes))
+            return
+        self._send_routed(batch)
+
+    def _send_routed(self, batch: list[ClientRequest]) -> None:
+        """Split a batch by target shard and send each part to its group."""
+        groups: dict[int | None, list[ClientRequest]] = {}
+        for request in batch:
+            record = self.outstanding.get(request.key)
+            shard = record.spec.shard if record is not None else None
+            groups.setdefault(shard, []).append(request)
+        for shard, requests in groups.items():
+            view = (self.view_of() if shard is None
+                    else self.router(shard)())
+            nbytes = sum(r.size for r in requests) + 16 * len(requests)
+            for replica_id in view.members:
+                self.net.send(self.id, replica_id,
+                              RequestBatchMsg(requests=requests,
+                                              size=nbytes))
 
     def _arm_resend(self) -> None:
         if self._resend_timer is None and self.resend_timeout > 0:
@@ -197,7 +226,9 @@ class ClientStation:
             return
         stale = [o.request for o in self.outstanding.values()
                  if self.sim.now - o.request.sent_at >= self.resend_timeout]
-        if stale:
+        if stale and self.router is not None:
+            self._send_routed(stale)
+        elif stale:
             view = self.view_of()
             nbytes = sum(r.size for r in stale) + 16 * len(stale)
             for replica_id in view.members:
@@ -216,6 +247,7 @@ class ClientStation:
         replica_id = msg.replica_id
         sim = self.sim
         obs = sim.obs
+        router = self.router
         for key, (payload, digest) in msg.results.items():
             record = outstanding.get(key)
             if record is None:
@@ -225,7 +257,10 @@ class ClientStation:
                 voters = record.votes[digest] = set()
             voters.add(replica_id)
             record.payloads[digest] = payload
-            if len(voters) >= quorum:
+            needed = quorum
+            if router is not None and record.spec.shard is not None:
+                needed = router(record.spec.shard)().quorum
+            if len(voters) >= needed:
                 del outstanding[key]
                 latency = sim.now - record.request.sent_at
                 self.latency.record(latency)

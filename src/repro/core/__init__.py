@@ -1,7 +1,13 @@
 """SMARTCHAIN: the paper's blockchain platform (Algorithm 1 + reconfiguration)."""
 
 from repro.core.blockchain_layer import ReconfigOutcome, SmartChainDelivery
-from repro.core.node import Consortium, SmartChainNode, bootstrap
+from repro.core.multichain import (
+    SHARD_STRIDE,
+    MultiChain,
+    bootstrap_shards,
+    shard_of_node,
+)
+from repro.core.node import Consortium, ReplicaGroup, SmartChainNode, bootstrap
 from repro.core.persistence import (
     PersistenceLevel,
     PersistMsg,
@@ -18,8 +24,13 @@ __all__ = [
     "ReconfigOutcome",
     "SmartChainDelivery",
     "Consortium",
+    "ReplicaGroup",
     "SmartChainNode",
     "bootstrap",
+    "SHARD_STRIDE",
+    "MultiChain",
+    "bootstrap_shards",
+    "shard_of_node",
     "PersistenceLevel",
     "PersistMsg",
     "persistence_level_of",

@@ -37,7 +37,7 @@ from repro.smr.service import Application
 from repro.smr.views import View
 from repro.storage.stable import StableStore
 
-__all__ = ["SmartChainNode", "bootstrap", "Consortium"]
+__all__ = ["SmartChainNode", "bootstrap", "ReplicaGroup", "Consortium"]
 
 
 @dataclass
@@ -220,11 +220,20 @@ class SmartChainNode:
         self.replica.recover(ready)
 
 
-class Consortium:
-    """The result of :func:`bootstrap`: nodes plus shared substrate."""
+class ReplicaGroup:
+    """One independent SMARTCHAIN replica group: nodes plus substrate.
+
+    A group owns everything consensus-scoped — its view, genesis block,
+    key directory, per-node chains and apps — while the simulation
+    substrate (``sim``, and in sharded deployments the network and key
+    registry) may be shared with other groups.  The single-group
+    deployment of :func:`bootstrap` is the ``shard=0`` special case; a
+    sharded multi-chain (:mod:`repro.core.multichain`) hosts several
+    groups side by side, each with member ids offset by its shard base.
+    """
 
     def __init__(self, sim, network, registry, keydir, genesis, nodes,
-                 config, costs, engine=None):
+                 config, costs, engine=None, shard=0, base_id=0):
         self.sim = sim
         self.network = network
         self.registry = registry
@@ -234,6 +243,10 @@ class Consortium:
         self.config = config
         self.costs = costs
         self.engine = engine
+        #: Which shard this group orders for (0 in single-group runs).
+        self.shard = shard
+        #: First member id of the group (``shard * SHARD_STRIDE``).
+        self.base_id = base_id
 
     @property
     def view(self) -> View:
@@ -264,6 +277,10 @@ class Consortium:
         return {nid: n.chain.height for nid, n in self.nodes.items()}
 
 
+#: Back-compat alias: the pre-sharding name of the single-group result.
+Consortium = ReplicaGroup
+
+
 def bootstrap(
     sim: Simulator,
     member_ids: tuple[int, ...],
@@ -276,13 +293,21 @@ def bootstrap(
     trace: TraceLog | None = None,
     policy: Callable[[str, int, Any], bool] | None = None,
     engine: str | None = None,
-) -> Consortium:
-    """Create a consortium from scratch: keys, genesis block, nodes.
+    shard: int = 0,
+) -> ReplicaGroup:
+    """Create a replica group from scratch: keys, genesis block, nodes.
 
     This is the deployment path a real operator would follow: generate each
     member's permanent key pair and initial consensus key pair, certify the
     consensus keys with the permanent keys, write everything into the
     genesis block, and start one node per member.
+
+    ``registry`` and ``network`` default to fresh per-group instances (the
+    classic single-group deployment); a sharded deployment passes shared
+    ones so groups can exchange verifiable artifacts (see
+    :mod:`repro.core.multichain`).  Key labels derive from member ids, so
+    groups with disjoint member ids draw disjoint keys from a shared
+    registry.
     """
     costs = costs or CostModel()
     registry = registry or KeyRegistry(seed=sim.seed)
@@ -322,5 +347,6 @@ def bootstrap(
             engine=engine,
         )
         nodes.append(node)
-    return Consortium(sim, network, registry, keydir, genesis, nodes,
-                      config, costs, engine=engine)
+    return ReplicaGroup(sim, network, registry, keydir, genesis, nodes,
+                        config, costs, engine=engine, shard=shard,
+                        base_id=min(view.members) if view.members else 0)

@@ -149,17 +149,63 @@ class FaultPlan:
     #: ``bound`` (post-GST latency bound the plan is expected to meet) and
     #: ``wedge_k``.  Explicit Scenario values win over these.
     liveness: dict[str, Any] = field(default_factory=dict)
+    #: Shard this plan targets in a sharded run (``None`` = unscoped).  The
+    #: plan's node ids are *shard-relative* (0..n-1); the harness offsets
+    #: them by the shard's base id before installing, so the same chaos
+    #: plan can be pointed at any group (see docs/sharding.md).
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "behaviors", tuple(self.behaviors))
         object.__setattr__(self, "network", tuple(self.network))
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "membership", tuple(self.membership))
+        if self.shard is not None and self.shard < 0:
+            raise FaultPlanError(f"shard must be >= 0, got {self.shard}")
 
     @property
     def byzantine_nodes(self) -> frozenset[int]:
         """Every node running at least one Byzantine behavior."""
         return frozenset(n for spec in self.behaviors for n in spec.nodes)
+
+    def scoped_to(self, base: int) -> "FaultPlan":
+        """The same plan with every node id offset by ``base`` — how a
+        shard-relative plan lands on the replicas of shard ``base //
+        SHARD_STRIDE``.  ``base == 0`` returns the plan unchanged."""
+        if base == 0:
+            return self
+
+        def off(node: int | None) -> int | None:
+            return None if node is None else node + base
+
+        return FaultPlan(
+            name=self.name,
+            seed=self.seed,
+            behaviors=tuple(
+                BehaviorSpec(spec.behavior,
+                             tuple(n + base for n in spec.nodes),
+                             after=spec.after, until=spec.until,
+                             cids=spec.cids, params=dict(spec.params))
+                for spec in self.behaviors),
+            network=tuple(
+                NetworkAction(action.op, action.at,
+                              groups=tuple(tuple(n + base for n in group)
+                                           for group in action.groups),
+                              src=off(action.src), dst=off(action.dst),
+                              p=action.p, seconds=action.seconds)
+                for action in self.network),
+            crashes=tuple(
+                CrashSpec(spec.node + base, spec.at,
+                          recover_at=spec.recover_at,
+                          repeat=spec.repeat, period=spec.period)
+                for spec in self.crashes),
+            membership=tuple(
+                MembershipAction(action.op, action.node + base, action.at)
+                for action in self.membership),
+            protocol=dict(self.protocol),
+            liveness=dict(self.liveness),
+            shard=self.shard,
+        )
 
     def to_json(self) -> dict[str, Any]:
         return asdict(self)
@@ -180,6 +226,7 @@ class FaultPlan:
                                  for action in data.get("membership", ())),
                 protocol=dict(data.get("protocol", {})),
                 liveness=dict(data.get("liveness", {})),
+                shard=data.get("shard"),
             )
         except (KeyError, TypeError) as exc:
             raise FaultPlanError(f"malformed fault plan: {exc}") from exc
@@ -230,6 +277,21 @@ NAMED_PLANS: dict[str, FaultPlan] = {
     # and the 1->3 link stays lossy.
     "crash-storm": FaultPlan(
         name="crash-storm",
+        crashes=(CrashSpec(node=2, at=0.6, recover_at=1.0,
+                           repeat=2, period=1.0),),
+        network=(
+            NetworkAction("drop", at=0.5, src=1, dst=3, p=0.05),
+            NetworkAction("partition", at=0.7, groups=((0, 1, 2), (3,))),
+            NetworkAction("heal", at=1.1),
+        ),
+    ),
+    # The same storm confined to shard 0 of a sharded deployment: node
+    # ids are shard-relative, so the harness offsets them by the shard's
+    # base id and the other groups never see a fault (their throughput
+    # must be unaffected — see docs/sharding.md).
+    "crash-storm-shard0": FaultPlan(
+        name="crash-storm-shard0",
+        shard=0,
         crashes=(CrashSpec(node=2, at=0.6, recover_at=1.0,
                            repeat=2, period=1.0),),
         network=(

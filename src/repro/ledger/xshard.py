@@ -1,0 +1,220 @@
+"""Cross-shard transfer certificates: self-verifiable value movement.
+
+A coin moves between shards in two phases.  The *source* shard orders an
+``xlock`` transaction that burns the coin and executes to an
+``("xlocked", xfer_id, dest_shard, value, recipient)`` result; once the
+block's PERSIST phase completes, the block carries a quorum certificate and
+the result sits under the header's result Merkle root.  The client (or the
+harness acting for it) assembles a :class:`TransferCertificate` — header,
+block certificate, result record and inclusion proof — and presents it to
+the *destination* shard inside an ``xmint`` transaction.
+
+The destination shard's replicas validate the certificate **statelessly**
+with a :class:`TransferVerifier`: no connection to the source shard, only
+its genesis block (the trust anchor every shard publishes at deployment)
+and the shared signature registry.  This is the paper's log
+self-verifiability (Observation 2) applied across groups: the same quorum
+certificate that lets a third party audit a chain lets a foreign shard
+accept one result from it.
+
+Failure modes handled here: a malformed certificate (bad proof, unsigned
+header, tampered result) is rejected; a certificate for another shard is
+rejected (no cross-shard replay into the wrong group); re-presenting a
+valid certificate is rejected by the application's redeemed-set (and
+flagged by the cross-shard auditor as an attempted double mint).
+
+Limitation, by design: certificates are verified against the consensus
+keys *recorded in the source genesis block* (view 0).  A transfer locked
+after the source shard reconfigures would need the verifier to walk the
+source chain up to the reconfiguration block; the sharded experiments here
+never reconfigure mid-run, so the verifier rejects non-genesis views
+instead of trusting unrecorded keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.crypto.hashing import hash_obj
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.ledger.block import Certificate, BlockHeader
+from repro.ledger.genesis import GenesisBlock
+
+__all__ = ["TransferCertificate", "TransferVerifier", "transfer_id",
+           "build_transfer_certificate"]
+
+#: Tag leading every serialized transfer certificate record.
+_RECORD_TAG = "xfercert"
+
+
+def transfer_id(client_id: int, req_id: int) -> str:
+    """Deterministic transfer identifier: every replica of the source shard
+    derives the same id when executing the ``xlock``, and the destination
+    shard uses it as the redemption key (mint exactly once)."""
+    return hash_obj(("xfer", client_id, req_id)).hex()[:32]
+
+
+class TransferCertificate:
+    """Everything a foreign shard needs to accept one burned-coin result.
+
+    ``result_record`` is the block body's ``(client_id, req_id,
+    result_repr, digest)`` tuple whose ``result_repr`` is the repr of the
+    ``xlocked`` result; ``proof`` authenticates it against
+    ``header.hash_results``; ``certificate`` authenticates the header.
+    """
+
+    __slots__ = ("source_shard", "header", "certificate", "result_record",
+                 "proof")
+
+    def __init__(self, source_shard: int, header: BlockHeader,
+                 certificate: Certificate, result_record: tuple,
+                 proof: MerkleProof):
+        self.source_shard = source_shard
+        self.header = header
+        self.certificate = certificate
+        self.result_record = tuple(result_record)
+        self.proof = proof
+
+    def to_record(self) -> tuple:
+        """A pure-value tuple (ints/str/bytes/bool) that can ride inside an
+        operation payload through the canonical encoder."""
+        return (
+            _RECORD_TAG,
+            self.source_shard,
+            self.header.to_record(),
+            self.certificate.to_record(),
+            self.result_record,
+            (self.proof.index, self.proof.leaf,
+             tuple((bool(left), sibling)
+                   for left, sibling in self.proof.path)),
+        )
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "TransferCertificate":
+        tag, source_shard, header_rec, cert_rec, result_rec, proof_rec = record
+        if tag != _RECORD_TAG:
+            raise ValueError(f"not a transfer certificate record: {tag!r}")
+        index, leaf, path = proof_rec
+        proof = MerkleProof(index, leaf,
+                            [(bool(left), sibling) for left, sibling in path])
+        return cls(source_shard, BlockHeader.from_record(header_rec),
+                   Certificate.from_record(cert_rec), tuple(result_rec),
+                   proof)
+
+
+def build_transfer_certificate(source_shard: int, block,
+                               client_id: int, req_id: int
+                               ) -> TransferCertificate | None:
+    """Assemble a certificate from a source-shard block, or ``None``.
+
+    Returns ``None`` when the block has no quorum certificate yet (PERSIST
+    still in flight) or the request's result is not in this block.
+    """
+    if block.certificate is None:
+        return None
+    for index, record in enumerate(block.body.results):
+        if record[0] == client_id and record[1] == req_id:
+            return TransferCertificate(
+                source_shard, block.header, block.certificate,
+                tuple(record), block.body.result_proof(index))
+    return None
+
+
+class TransferVerifier:
+    """Stateless validator for transfer certificates, one per shard.
+
+    Holds the destination shard's identity, the genesis block of every
+    shard (trust anchors) and the signature registry.  ``verify`` returns
+    the parsed ``("xlocked", xfer_id, dest_shard, value, recipient)``
+    payload on success or ``("error", reason)`` — the application turns
+    the latter into an auditable rejection.
+    """
+
+    def __init__(self, shard: int, registry: KeyRegistry,
+                 genesis_by_shard: dict[int, GenesisBlock]):
+        self.shard = shard
+        self.registry = registry
+        self.genesis_by_shard = dict(genesis_by_shard)
+        self._key_cache: dict[int, dict[int, str]] = {}
+
+    def verify(self, record: Any) -> tuple:
+        try:
+            cert = (record if isinstance(record, TransferCertificate)
+                    else TransferCertificate.from_record(record))
+        except (ValueError, TypeError):
+            return ("error", "malformed transfer certificate")
+        genesis = self.genesis_by_shard.get(cert.source_shard)
+        if genesis is None:
+            return ("error",
+                    f"unknown source shard {cert.source_shard}")
+        if cert.source_shard == self.shard:
+            return ("error", "transfer certificate from the local shard")
+        header = cert.header
+        block_cert = cert.certificate
+        # 1. The certificate must cover this header.
+        if block_cert.header_digest != header.digest():
+            return ("error", "certificate covers a different header")
+        if block_cert.block_number != header.number:
+            return ("error", "certificate covers a different block number")
+        # 2. Quorum of signatures by keys *recorded in the source genesis*
+        # (view 0 — see the module docstring for the reconfiguration
+        # limitation).
+        view = genesis.view
+        if block_cert.view_id != view.view_id or header.view_id != view.view_id:
+            return ("error",
+                    "certificate view is not recorded in the source genesis")
+        recorded = self._recorded_keys(cert.source_shard, genesis)
+        payload = header.digest()
+        valid = 0
+        for replica_id, signature in block_cert.signatures.items():
+            public = recorded.get(replica_id)
+            if public is None:
+                continue  # unrecorded key: cannot count toward the quorum
+            if self.registry.verify(public, payload, signature):
+                valid += 1
+        if valid < view.cert_quorum:
+            return ("error",
+                    f"certificate has {valid} valid recorded-key "
+                    f"signatures, needs {view.cert_quorum}")
+        # 3. The result must be committed under the certified header.
+        if not MerkleTree.verify(header.hash_results, cert.result_record,
+                                 cert.proof):
+            return ("error", "result not proven against the block header")
+        # 4. The result must be a successful lock addressed to this shard.
+        try:
+            result = ast.literal_eval(cert.result_record[2])
+        except (ValueError, SyntaxError):
+            return ("error", "unparseable result in transfer certificate")
+        if (not isinstance(result, tuple) or len(result) != 5
+                or result[0] != "xlocked"):
+            return ("error", "certified result is not a lock")
+        _tag, xfer_id, dest_shard, value, recipient = result
+        if dest_shard != self.shard:
+            return ("error",
+                    f"transfer addressed to shard {dest_shard}, "
+                    f"not shard {self.shard}")
+        if not isinstance(value, int) or value <= 0:
+            return ("error", "transfer value must be positive")
+        return ("xlocked", xfer_id, dest_shard, value, recipient)
+
+    def _recorded_keys(self, shard: int, genesis: GenesisBlock
+                       ) -> dict[int, str]:
+        """Genesis-recorded consensus keys of ``shard`` (validated against
+        the permanent keys, cached per verifier)."""
+        keys = self._key_cache.get(shard)
+        if keys is not None:
+            return keys
+        keys = {}
+        permanent = genesis.permanent_keys
+        for ann in genesis.key_announcements:
+            if ann.view_id != genesis.view.view_id:
+                continue
+            owner_key = permanent.get(ann.replica_id)
+            if owner_key is None or not self.registry.verify(
+                    owner_key, ann.payload(), ann.signature):
+                continue
+            keys[ann.replica_id] = ann.consensus_public
+        self._key_cache[shard] = keys
+        return keys

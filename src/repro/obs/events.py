@@ -52,6 +52,8 @@ EVENT_KINDS = frozenset({
     "watchdog-armed",       # smr/leaderchange.py: progress watchdog scheduled
     "watchdog-fired",       # smr/leaderchange.py: starvation detected
     "sync-phase",           # smr/leaderchange.py: STOP/STOPDATA/SYNC steps
+    "cert-redeemed",        # apps/smartcoin.py: cross-shard transfer minted
+    "cert-rejected",        # apps/smartcoin.py: transfer certificate refused
 })
 
 #: Event kinds emitted by client stations rather than replicas.  Their
