@@ -173,6 +173,33 @@ class SmartCoin(Application):
         _result_digests[key] = value
         return value
 
+    def conflict_keys(self, request: ClientRequest):
+        """UTXO footprints for the parallel-execution scheduler.
+
+        Coin ids are derivable *before* execution (``coin_id`` is a pure
+        function of client, request and output index), so mints and spends
+        declare exact write sets; two operations touching disjoint coins
+        commute.  Commutative aggregates (``minted_total``, rejection
+        counters) are deliberately excluded — execution itself still runs
+        in sequence order, the sets only shape the timing model.  Ops whose
+        footprint needs execution-time state (balance scans the whole coin
+        map, xmint depends on certificate verification) return None and are
+        scheduled as barriers.
+        """
+        op = request.op
+        kind = op[0]
+        client_id, req_id = request.client_id, request.req_id
+        if kind == "spend":
+            writes = tuple(op[2]) + tuple(
+                coin_id(client_id, req_id, i) for i in range(len(op[3])))
+            return ((), writes)
+        if kind == "mint":
+            return ((), tuple(coin_id(client_id, req_id, i)
+                              for i in range(len(op[2]))))
+        if kind == "xlock":
+            return ((), tuple(op[2]))
+        return None
+
     def _mint(self, request: ClientRequest, op: tuple) -> Any:
         _, issuer, outputs = op
         if issuer not in self.minters:

@@ -17,6 +17,8 @@ Examples::
     python -m repro.bench smartchain --faults leader-delay --audit-liveness
     python -m repro.bench shards                        # sharded scaling sweep
     python -m repro.bench smartchain --shards 2 --cross-shard-fraction 0.1
+    python -m repro.bench pipeline                      # depth x cores sweep
+    python -m repro.bench smartchain --pipeline-depth 4 --exec-cores 2
 
 ``--report PATH`` runs every row with observability enabled and writes a
 machine-readable bench report (schema ``repro.obs/bench-report/v1``): the
@@ -72,6 +74,9 @@ EXPERIMENTS = {
                 "the challenger)"),
     "shards": ("6 rows", "sharded scaling sweep — shard count x cross-shard "
                "fraction (see docs/sharding.md)"),
+    "pipeline": ("6 rows", "pipelining sweep — consensus pipeline depth x "
+                 "modeled exec cores on the Table I Durable-SMaRt row "
+                 "(see docs/performance.md)"),
 }
 
 
@@ -169,7 +174,8 @@ def _main(argv: list[str] | None = None) -> int:
     parser.set_defaults(clients=1200, duration=2.5, seed=1)
     sub = parser.add_subparsers(dest="experiment")
 
-    for name in ("table1", "table2", "calibration", "engines", "shards"):
+    for name in ("table1", "table2", "calibration", "engines", "shards",
+                 "pipeline"):
         p = sub.add_parser(name)
         _common(p)
         if name == "shards":
@@ -190,6 +196,13 @@ def _main(argv: list[str] | None = None) -> int:
                    dest="cross_shard_fraction",
                    help="fraction of SPENDs that become two-phase "
                         "cross-shard transfers")
+    p.add_argument("--pipeline-depth", type=int, default=1,
+                   dest="pipeline_depth",
+                   help="consensus instances the leader keeps in flight "
+                        "(1 = classic sequential ordering)")
+    p.add_argument("--exec-cores", type=int, default=1, dest="exec_cores",
+                   help="modeled cores for parallel deterministic "
+                        "execution (1 = execute on the SM thread)")
 
     args = parser.parse_args(argv)
     if args.list_experiments:
@@ -226,10 +239,10 @@ def _main(argv: list[str] | None = None) -> int:
                 f"cannot load baseline {args.check_against}: {exc}")
     fault_plan = None
     if args.faults is not None:
-        if args.experiment not in ("smartchain", "engines"):
-            parser.error("--faults needs the smartchain or engines "
-                         "experiment (the comparators have no replica "
-                         "runtimes to compromise)")
+        if args.experiment not in ("smartchain", "engines", "pipeline"):
+            parser.error("--faults needs the smartchain, engines or "
+                         "pipeline experiment (the comparators have no "
+                         "replica runtimes to compromise)")
         from repro.faults import FaultPlanError, load_plan
         try:  # resolve now so typos fail before the simulation starts
             fault_plan = load_plan(args.faults)
@@ -327,6 +340,17 @@ def _main(argv: list[str] | None = None) -> int:
                                  **kwargs))
                     for shards in (1, 2, 4)
                     for fraction in (0.0, 0.1)]
+        elif args.experiment == "pipeline":
+            # Pipelining sweep on the Table I Durable-SMaRt row: the
+            # depth=1/cores=1 corner is byte-identical to the table1 dura
+            # row; depth>=4 with cores>=2 is where the >=1.5x throughput
+            # gain shows (docs/performance.md).
+            experiment = "pipeline"
+            rows = [run(Scenario(system="dura", engine=engine,
+                                 pipeline_depth=depth, exec_cores=cores,
+                                 faults=fault_plan, **kwargs))
+                    for depth in (1, 4)
+                    for cores in (1, 2, 4)]
         else:  # smartchain
             experiment = "smartchain"
             rows = [run(Scenario(
@@ -334,6 +358,8 @@ def _main(argv: list[str] | None = None) -> int:
                 storage=StorageMode(args.storage), n=args.n, engine=engine,
                 shards=args.shards,
                 cross_shard_fraction=args.cross_shard_fraction,
+                pipeline_depth=args.pipeline_depth,
+                exec_cores=args.exec_cores,
                 faults=fault_plan, **kwargs))]
     finally:
         if profiler is not None:

@@ -118,6 +118,14 @@ class Scenario:
     #: transfers (LOCK-and-burn on the source shard, certificate-verified
     #: mint on the destination).  Ignored when ``shards == 1``.
     cross_shard_fraction: float = 0.0
+    #: Consensus instances the leader keeps in flight at once
+    #: (``SMRConfig.pipeline_depth``); 1 = classic sequential ordering,
+    #: byte-identical to the pre-pipelining harness.  Engine-hosting
+    #: systems only.
+    pipeline_depth: int = 1
+    #: Modeled execution cores (``SMRConfig.exec_cores``) for parallel
+    #: deterministic execution; 1 = execute on the SM thread.
+    exec_cores: int = 1
     n: int = 4
     clients: int = 2400
     duration: float = 4.0
@@ -199,14 +207,28 @@ class Scenario:
             raise ValueError(
                 f"cross_shard_fraction must be in [0, 1], "
                 f"got {self.cross_shard_fraction}")
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}")
+        if self.exec_cores < 1:
+            raise ValueError(
+                f"exec_cores must be >= 1, got {self.exec_cores}")
+        if ((self.pipeline_depth != 1 or self.exec_cores != 1)
+                and self.system not in _ENGINE_SYSTEMS):
+            raise ValueError(
+                "pipeline_depth/exec_cores apply only to the engine-hosting "
+                f"systems {sorted(_ENGINE_SYSTEMS)}, got {self.system!r}")
 
     def describe(self) -> dict[str, Any]:
         """JSON-safe summary of the scenario (for bench reports)."""
+        out = self._describe_base()
         if self.shards > 1:  # additive: single-group summaries unchanged
-            return {**self._describe_base(),
-                    "shards": self.shards,
-                    "cross_shard_fraction": self.cross_shard_fraction}
-        return self._describe_base()
+            out = {**out, "shards": self.shards,
+                   "cross_shard_fraction": self.cross_shard_fraction}
+        if self.pipeline_depth != 1 or self.exec_cores != 1:  # additive too
+            out = {**out, "pipeline_depth": self.pipeline_depth,
+                   "exec_cores": self.exec_cores}
+        return out
 
     def _describe_base(self) -> dict[str, Any]:
         return {
@@ -356,13 +378,23 @@ class _Built:
     nodes: dict[int, Any] | None = None
 
 
+def _pipeline_suffix(label: str, sc: Scenario) -> str:
+    """Append the pipelining knobs to a ``(...)`` label when non-default."""
+    if sc.pipeline_depth != 1 or sc.exec_cores != 1:
+        label = (f"{label[:-1]}, depth={sc.pipeline_depth}, "
+                 f"cores={sc.exec_cores})")
+    return label
+
+
 def _build_smartchain(sim: Simulator, sc: Scenario,
                       costs: CostModel) -> _Built:
     if sc.shards > 1:
         return _build_multishard(sim, sc, costs)
     f = (sc.n - 1) // 3
     config = SmartChainConfig(
-        smr=SMRConfig(n=sc.n, f=f, verification=sc.verification),
+        smr=SMRConfig(n=sc.n, f=f, verification=sc.verification,
+                      pipeline_depth=sc.pipeline_depth,
+                      exec_cores=sc.exec_cores),
         variant=sc.variant,
         storage=sc.storage,
         checkpoint_period=sc.checkpoint_period,
@@ -382,6 +414,7 @@ def _build_smartchain(sim: Simulator, sc: Scenario,
              f"({sc.storage.value}, {sc.verification.value}, n={sc.n})")
     if sc.engine != "modsmart":
         label = f"{label[:-1]}, {sc.engine})"
+    label = _pipeline_suffix(label, sc)
     node0 = consortium.node(0)
     return _Built(stations, label, consortium, lambda: {
         "blocks": node0.delivery.blocks_built,
@@ -421,7 +454,9 @@ def _build_multishard(sim: Simulator, sc: Scenario,
 
     def config_factory(shard: int) -> SmartChainConfig:
         return SmartChainConfig(
-            smr=SMRConfig(n=sc.n, f=f, verification=sc.verification),
+            smr=SMRConfig(n=sc.n, f=f, verification=sc.verification,
+                          pipeline_depth=sc.pipeline_depth,
+                          exec_cores=sc.exec_cores),
             variant=sc.variant,
             storage=sc.storage,
             checkpoint_period=sc.checkpoint_period,
@@ -453,6 +488,7 @@ def _build_multishard(sim: Simulator, sc: Scenario,
     label = f"{label})"
     if sc.engine != "modsmart":
         label = f"{label[:-1]}, {sc.engine})"
+    label = _pipeline_suffix(label, sc)
 
     def metrics() -> dict[str, Any]:
         per_shard: dict[str, dict[str, Any]] = {}
@@ -485,13 +521,15 @@ def _build_multishard(sim: Simulator, sc: Scenario,
 
 
 def _build_modsmart_cluster(sim, costs, n, verification, delivery_factory,
-                            engine="modsmart"):
+                            engine="modsmart", pipeline_depth=1,
+                            exec_cores=1):
     registry = KeyRegistry(seed=sim.seed)
     network = Network(sim, costs.network)
     keydir = KeyDirectory()
     f = (n - 1) // 3
     view = View(0, tuple(range(n)))
-    config = SMRConfig(n=n, f=f, verification=verification)
+    config = SMRConfig(n=n, f=f, verification=verification,
+                       pipeline_depth=pipeline_depth, exec_cores=exec_cores)
     replicas = []
     for replica_id in view.members:
         replicas.append(ModSmartReplica(
@@ -506,12 +544,14 @@ def _build_naive(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
         sim, costs, sc.n, sc.verification,
         lambda: NaiveBlockchainDelivery(SmartCoin(minters=minters),
                                         sc.storage),
-        engine=sc.engine)
+        engine=sc.engine, pipeline_depth=sc.pipeline_depth,
+        exec_cores=sc.exec_cores)
     stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
                                  workload=sc.workload,
                                  signed=_signed(sc.verification))
     label = (f"SMaRtCoin naive ({sc.verification.value} verify, "
              f"{sc.storage.value} writes, n={sc.n})")
+    label = _pipeline_suffix(label, sc)
     return _Built(stations, label, replicas, lambda: {
         "blocks": replicas[0].delivery.blocks_built,
     }, network=network, replicas={r.id: r for r in replicas})
@@ -522,12 +562,14 @@ def _build_dura(sim: Simulator, sc: Scenario, costs: CostModel) -> _Built:
     network, view, replicas = _build_modsmart_cluster(
         sim, costs, sc.n, sc.verification,
         lambda: DuraSmartDelivery(SmartCoin(minters=minters), sc.storage),
-        engine=sc.engine)
+        engine=sc.engine, pipeline_depth=sc.pipeline_depth,
+        exec_cores=sc.exec_cores)
     stations, _ = deploy_clients(sim, network, lambda: view, sc.clients,
                                  workload=sc.workload,
                                  signed=_signed(sc.verification))
     label = (f"Durable-SMaRt ({sc.verification.value} verify, "
              f"{sc.storage.value} writes, n={sc.n})")
+    label = _pipeline_suffix(label, sc)
 
     def metrics() -> dict[str, Any]:
         groups = replicas[0].delivery.group_sizes

@@ -146,6 +146,18 @@ class SMRConfig:
     #: consensus from racing ahead of the delivery pipeline, which would
     #: fragment batches.
     max_pending_decisions: int = 3
+    #: Consensus pipelining (DISPEL-style): maximum consensus instances the
+    #: leader may have in flight at once.  ``1`` is the classic sequential
+    #: mode — instance i+1 is proposed only after i decides — and takes the
+    #: exact pre-pipelining code path.  Engines cap the effective window via
+    #: ``ConsensusEngine.max_pipeline``.
+    pipeline_depth: int = 1
+    #: Modeled cores of the execution pool used to run non-conflicting
+    #: operations of a decided batch concurrently (applications declare
+    #: conflicts via ``Application.conflict_keys``).  ``1`` executes on the
+    #: single state-machine thread, exactly as before.  Results and replies
+    #: are byte-identical for every value — only the modeled time changes.
+    exec_cores: int = 1
     #: How long the strong variant waits for a certificate quorum before
     #: finishing a block uncertified (it is re-certified once the missing
     #: recorded keys land on the chain).
@@ -165,6 +177,12 @@ class SMRConfig:
                 "(expected 'exponential' or 'fixed')")
         if self.timeout_backoff < 1.0:
             raise ValueError("timeout_backoff must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}")
+        if self.exec_cores < 1:
+            raise ValueError(
+                f"exec_cores must be >= 1, got {self.exec_cores}")
 
     @property
     def quorum(self) -> int:

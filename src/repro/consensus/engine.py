@@ -76,10 +76,18 @@ class ConsensusEngine(abc.ABC):
         vocabulary for fault-plan knobs such as the withhold-votes
         ``phases`` parameter.  Plans naming a phase the engine lacks are
         rejected at install time (no silent no-ops).
+    ``max_pipeline``
+        Largest consensus-instance window the engine supports running
+        concurrently (DISPEL-style pipelining).  The replica proposes at
+        most ``min(config.pipeline_depth, engine.max_pipeline)`` instances
+        ahead of the last decision.  The default of 1 declares a strictly
+        sequential engine; engines that can tally independent instances
+        concurrently raise it.
     """
 
     name: str = ""
     phases: tuple[str, ...] = ()
+    max_pipeline: int = 1
 
     def __init__(self) -> None:
         self.replica: "ModSmartReplica | None" = None
@@ -116,8 +124,11 @@ class ConsensusEngine(abc.ABC):
         self.replica = replica
 
     @abc.abstractmethod
-    def propose(self, batch: "list[ClientRequest]") -> None:
-        """Leader path: start agreement on ``batch`` for the next cid."""
+    def propose(self, batch: "list[ClientRequest]",
+                cid: int | None = None) -> None:
+        """Leader path: start agreement on ``batch`` for ``cid`` (default
+        ``last_decided + 1``).  A pipelining replica passes explicit cids
+        beyond the head so several instances run concurrently."""
 
     @abc.abstractmethod
     def has_open_proposal(self, cid: int) -> bool:

@@ -118,6 +118,9 @@ class FastBftEngine(ConsensusEngine):
 
     name = "fastbft"
     phases = ("vote", "commit")
+    #: Per-cid FastInstance tallies are independent, so concurrent
+    #: instances compose exactly as in Mod-SMaRt; the same sanity cap.
+    max_pipeline = 16
 
     def __init__(self) -> None:
         super().__init__()
@@ -151,9 +154,11 @@ class FastBftEngine(ConsensusEngine):
         replica.runtime.register_handler(FastVoteMsg, self._on_vote)
         replica.runtime.register_handler(FastCommitMsg, self._on_commit)
 
-    def propose(self, batch: "list[ClientRequest]") -> None:
+    def propose(self, batch: "list[ClientRequest]",
+                cid: int | None = None) -> None:
         replica = self.replica
-        cid = replica.last_decided + 1
+        if cid is None:
+            cid = replica.last_decided + 1
         batch_hash = hash_obj([r.to_canonical() for r in batch])
         replica.inflight.update(r.key for r in batch)
         msg = ProposeMsg(cid=cid, regency=replica.regency, batch=batch,
@@ -202,10 +207,20 @@ class FastBftEngine(ConsensusEngine):
     # Buffered out-of-order proposals
     # ------------------------------------------------------------------
     def kick_pending(self) -> None:
-        pending = self.future_proposals.pop(self.replica.last_decided + 1,
-                                            None)
-        if pending is not None:
-            self._process_propose(*pending)
+        replica = self.replica
+        # Same windowed re-scan as ModSmartEngine.kick_pending: everything
+        # now inside the processing window is eligible, and processing can
+        # advance last_decided, so loop until a pass pops nothing.
+        while True:
+            limit = replica.last_decided + replica.pipeline_window
+            eligible = sorted(c for c in self.future_proposals
+                              if c <= limit)
+            if not eligible:
+                return
+            for c in eligible:
+                pending = self.future_proposals.pop(c, None)
+                if pending is not None and c > replica.last_decided:
+                    self._process_propose(*pending)
 
     def earliest_buffered(self) -> int | None:
         return min(self.future_proposals) if self.future_proposals else None
@@ -213,6 +228,8 @@ class FastBftEngine(ConsensusEngine):
     def discard_through(self, cid: int) -> None:
         self.future_proposals = {
             c: p for c, p in self.future_proposals.items() if c > cid}
+        for c in [c for c in self.instances if c <= cid]:
+            self.instances.pop(c).cancel_timer()
 
     # ------------------------------------------------------------------
     # Synchronization-phase hooks
@@ -281,7 +298,7 @@ class FastBftEngine(ConsensusEngine):
         replica = self.replica
         if msg.cid <= replica.last_decided:
             return
-        if msg.cid > replica.last_decided + 1:
+        if msg.cid > replica.last_decided + replica.pipeline_window:
             self.future_proposals[msg.cid] = (src, msg)
             replica.arm_gap_check()
             return

@@ -125,6 +125,10 @@ class StopDataMsg(Message):
     last_decided_cid: int = -1
     pending_cid: int | None = None
     writeset: tuple[int, bytes, list[ClientRequest]] | None = None  # (regency, hash, batch)
+    #: Pipelining: writesets of the in-flight instances *beyond*
+    #: ``pending_cid``, as ``(cid, (regency, hash, batch))`` pairs.  Empty
+    #: at pipeline_depth=1 (the wire format is unchanged there).
+    extra_writesets: tuple = ()
 
 
 @dataclass
@@ -136,3 +140,7 @@ class SyncMsg(Message):
     batch: list[ClientRequest] | None = None
     batch_hash: bytes = b""
     collected_from: tuple[int, ...] = ()
+    #: Pipelining: re-proposals for vouched in-flight instances beyond
+    #: ``cid``, as ``(cid, batch, batch_hash)`` triples in cid order.
+    #: Empty at pipeline_depth=1.
+    extra: tuple = ()

@@ -41,6 +41,10 @@ class ModSmartEngine(ConsensusEngine):
 
     name = "modsmart"
     phases = ("write", "accept")
+    #: Instances tally independently (per-cid ConsensusInstance objects),
+    #: so the protocol itself places no bound on concurrent instances; 16
+    #: is a sanity cap matching BFT-SMART's pending-request bookkeeping.
+    max_pipeline = 16
 
     def __init__(self) -> None:
         super().__init__()
@@ -66,9 +70,11 @@ class ModSmartEngine(ConsensusEngine):
         replica.runtime.register_handler(WriteMsg, self._on_write)
         replica.runtime.register_handler(AcceptMsg, self._on_accept)
 
-    def propose(self, batch: "list[ClientRequest]") -> None:
+    def propose(self, batch: "list[ClientRequest]",
+                cid: int | None = None) -> None:
         replica = self.replica
-        cid = replica.last_decided + 1
+        if cid is None:
+            cid = replica.last_decided + 1
         batch_hash = hash_obj([r.to_canonical() for r in batch])
         replica.inflight.update(r.key for r in batch)
         msg = ProposeMsg(cid=cid, regency=replica.regency, batch=batch,
@@ -118,10 +124,21 @@ class ModSmartEngine(ConsensusEngine):
     # Buffered out-of-order proposals
     # ------------------------------------------------------------------
     def kick_pending(self) -> None:
-        pending = self.future_proposals.pop(self.replica.last_decided + 1,
-                                            None)
-        if pending is not None:
-            self._process_propose(*pending)
+        replica = self.replica
+        # Every buffered proposal that now falls inside the processing
+        # window becomes eligible (the whole window at pipeline depth > 1;
+        # exactly last_decided + 1 in sequential mode).  Processing one may
+        # advance last_decided, so re-scan until a pass pops nothing.
+        while True:
+            limit = replica.last_decided + replica.pipeline_window
+            eligible = sorted(c for c in self.future_proposals
+                              if c <= limit)
+            if not eligible:
+                return
+            for c in eligible:
+                pending = self.future_proposals.pop(c, None)
+                if pending is not None and c > replica.last_decided:
+                    self._process_propose(*pending)
 
     def earliest_buffered(self) -> int | None:
         return min(self.future_proposals) if self.future_proposals else None
@@ -129,6 +146,10 @@ class ModSmartEngine(ConsensusEngine):
     def discard_through(self, cid: int) -> None:
         self.future_proposals = {
             c: p for c, p in self.future_proposals.items() if c > cid}
+        # Drop instance bookkeeping a state transfer made obsolete (with
+        # pipelining several stale instances may be open at once).
+        for c in [c for c in self.instances if c <= cid]:
+            del self.instances[c]
 
     # ------------------------------------------------------------------
     # Synchronization-phase hooks
@@ -194,8 +215,9 @@ class ModSmartEngine(ConsensusEngine):
         replica = self.replica
         if msg.cid <= replica.last_decided:
             return
-        if msg.cid > replica.last_decided + 1:
-            # Sequential instances: hold until this replica catches up.
+        if msg.cid > replica.last_decided + replica.pipeline_window:
+            # Beyond the processing window (the next instance in sequential
+            # mode): hold until this replica catches up.
             self.future_proposals[msg.cid] = (src, msg)
             replica.arm_gap_check()
             return

@@ -49,6 +49,7 @@ from repro.ledger.block import (
 from repro.ledger.chain import Blockchain
 from repro.ledger.genesis import GenesisBlock
 from repro.core.persistence import PersistMsg, persistence_level_of
+from repro.smr import scheduler
 from repro.smr.requests import ClientRequest, Decision
 from repro.smr.service import Application, SequentialDelivery
 from repro.smr.views import View
@@ -319,6 +320,15 @@ class SmartChainDelivery(SequentialDelivery):
                  tuple(t.to_record() for t in tx_records),
                  decision.batch_hash),
                 body_bytes)
+        if scheduler.parallel_execution(replica, self.app):
+            # Per-transaction work runs on the exec pool; block building
+            # and body hashing stay on the SM thread.
+            serial = (costs.batch_overhead + costs.block_build_overhead
+                      + costs.crypto.hash_time_per_kb * (body_bytes / 1024))
+            scheduler.charge_execution(replica, self.app, decision.batch,
+                                       serial, self._executed, decision,
+                                       tx_records, number, done)
+            return
         work = replica.execution_cost(decision.batch)
         work += costs.block_build_overhead
         work += costs.crypto.hash_time_per_kb * (body_bytes / 1024)

@@ -54,6 +54,7 @@ EVENT_KINDS = frozenset({
     "sync-phase",           # smr/leaderchange.py: STOP/STOPDATA/SYNC steps
     "cert-redeemed",        # apps/smartcoin.py: cross-shard transfer minted
     "cert-rejected",        # apps/smartcoin.py: transfer certificate refused
+    "pipeline-stalled",     # smr/replica.py: in-flight window made no progress
 })
 
 #: Event kinds emitted by client stations rather than replicas.  Their

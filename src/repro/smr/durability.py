@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.config import StorageMode
+from repro.smr import scheduler
 from repro.smr.requests import Decision
 from repro.smr.service import Application, DeliveryLayer
 from repro.storage.stable import AsyncFlusher
@@ -109,6 +110,17 @@ class DuraSmartDelivery(DeliveryLayer):
                 "dura.group_size", node=self.replica.id).observe(len(group))
         replica = self.replica
         costs = replica.costs
+        if scheduler.parallel_execution(replica, self.app):
+            # The whole group is one dependency plan — ordering across the
+            # group's decisions is preserved by batch concatenation order —
+            # while the per-delivery overhead and log serialization stay on
+            # the SM thread.
+            combined = [req for d in group for req in d.batch]
+            serial = (costs.batch_overhead
+                      + costs.dura_log_per_tx * len(combined))
+            scheduler.charge_execution(replica, self.app, combined, serial,
+                                       self._apply_group, group)
+            return
         # One per-delivery overhead for the whole group (the key win).
         work = costs.batch_overhead
         for decision in group:

@@ -203,6 +203,17 @@ class Synchronizer:
 
         pending_cid = replica.last_decided + 1
         writeset = replica.engine.abandon_regency(pending_cid, regency)
+        # Pipelining: the whole in-flight window is abandoned, and every
+        # instance this replica vouched a value for beyond the head is
+        # reported alongside (empty at pipeline_depth=1).
+        extra_writesets = []
+        window = replica.pipeline_window
+        if window > 1:
+            for c in range(pending_cid + 1, pending_cid + window):
+                ws = replica.engine.abandon_regency(c, regency)
+                if ws is not None:
+                    extra_writesets.append((c, ws))
+        replica.reset_proposer()
 
         replica.trace.emit(replica.sim.now, "regency-installed",
                            replica=replica.id, regency=regency)
@@ -211,12 +222,16 @@ class Synchronizer:
             rt.notify("leader-change", regency=regency,
                       leader=replica.cv.leader(regency),
                       timeout=self.current_timeout)
+        extra_size = sum(16 + sum(r.size for r in ws[2])
+                         for _c, ws in extra_writesets)
         stopdata = StopDataMsg(
             regency=regency,
             last_decided_cid=replica.last_decided,
             pending_cid=pending_cid,
             writeset=writeset,
-            size=64 + (sum(r.size for r in writeset[2]) if writeset else 0),
+            extra_writesets=tuple(extra_writesets),
+            size=64 + (sum(r.size for r in writeset[2]) if writeset else 0)
+            + extra_size,
         )
         if rt.observing:
             rt.notify("sync-phase", phase="stopdata", regency=regency,
@@ -292,7 +307,20 @@ class Synchronizer:
                 best = stopdata.writeset
         batch = best[2] if best is not None else None
         batch_hash = best[1] if best is not None else b""
-        size = 64 + (sum(r.size for r in batch) if batch else 0)
+        # Pipelining: the same highest-regency rule applies independently
+        # to every vouched instance beyond ``cid`` (empty at depth 1).
+        extra_best: dict[int, tuple] = {}
+        for stopdata in collected.values():
+            for c, ws in stopdata.extra_writesets:
+                if c <= cid or ws is None:
+                    continue
+                current = extra_best.get(c)
+                if current is None or ws[0] > current[0]:
+                    extra_best[c] = ws
+        extra = tuple((c, extra_best[c][2], extra_best[c][1])
+                      for c in sorted(extra_best))
+        size = (64 + (sum(r.size for r in batch) if batch else 0)
+                + sum(sum(r.size for r in b) for _c, b, _h in extra))
         replica.trace.emit(replica.sim.now, "sync-sent", replica=replica.id,
                            regency=regency, reproposed=batch is not None)
         rt = replica.runtime
@@ -303,6 +331,7 @@ class Synchronizer:
         replica.broadcast_view(SyncMsg(regency=regency, cid=cid, batch=batch,
                                        batch_hash=batch_hash,
                                        collected_from=tuple(collected),
+                                       extra=extra,
                                        size=size))
 
     def _on_sync(self, src: int, msg: SyncMsg) -> None:
@@ -324,6 +353,7 @@ class Synchronizer:
         if rt.observing:
             rt.notify("sync-phase", phase="sync-adopted", regency=msg.regency,
                       timeout=self.current_timeout)
+        adopted = False
         if msg.batch is not None and msg.cid == replica.last_decided + 1:
             # Adopt the re-proposal as if it were a PROPOSE from the leader.
             unseen = [r for r in msg.batch if r.key not in replica.seen]
@@ -331,7 +361,19 @@ class Synchronizer:
                 replica.ingest_requests(unseen)
             replica.engine.adopt_sync(msg.cid, msg.regency, msg.batch,
                                       msg.batch_hash)
-        else:
+            adopted = True
+        # Pipelining: re-proposals for vouched instances beyond the head
+        # (extras are empty at pipeline_depth=1).
+        for c, batch, batch_hash in msg.extra:
+            if c <= replica.last_decided or batch is None:
+                continue
+            unseen = [r for r in batch if r.key not in replica.seen]
+            if unseen:
+                replica.ingest_requests(unseen)
+            replica.engine.adopt_sync(c, msg.regency, batch, batch_hash)
+        if not adopted or replica.pipeline_window > 1:
+            # Sequential mode: propose fresh when nothing was re-proposed.
+            # Pipelined mode: also refill the rest of the window.
             replica.maybe_propose()
         self.arm_request_timer()
 

@@ -121,6 +121,13 @@ class ModSmartReplica:
         self.sm_thread = Resource(sim, 1, name=f"sm-{replica_id}")
         self.verify_pool = Resource(sim, config.verify_pool_size,
                                     name=f"pool-{replica_id}")
+        #: Execution core pool for parallel deterministic execution
+        #: (repro.smr.scheduler).  None at exec_cores=1: execution stays on
+        #: the state-machine thread and no extra resource appears in
+        #: reports, keeping default-config exports byte-identical.
+        self.exec_pool = (
+            Resource(sim, config.exec_cores, name=f"exec-{replica_id}")
+            if config.exec_cores > 1 else None)
 
         # Keys (may be provided by a bootstrap that wrote them to genesis).
         self.permanent_key: KeyPair = (
@@ -150,6 +157,13 @@ class ModSmartReplica:
         self._incarnation = 0
         self._batch_timer = None
         self._gap_timer = None
+        #: Highest cid this leader has proposed (pipelining bookkeeping).
+        #: ``engine.propose`` only broadcasts — the instance forms when the
+        #: self-addressed PROPOSE loops back — so ``has_open_proposal`` alone
+        #: cannot stop the windowed propose loop from double-proposing.
+        self._proposed_head = -1
+        self._stall_timer = None
+        self._stall_marker = -1
         #: Forgetting protocol switch: a compromised replica that refuses to
         #: erase retired per-view keys sets this False (the stale-replay
         #: fault behavior); honest replicas always erase.
@@ -158,6 +172,7 @@ class ModSmartReplica:
         # Statistics.
         self.decided_count = 0
         self.executed_tx_count = 0
+        self.pipeline_stalls = 0
 
         # Message plumbing: typed dispatch + interceptor chains.
         self.runtime = NodeRuntime(sim, network, replica_id)
@@ -341,8 +356,7 @@ class ModSmartReplica:
         self._after_verification()
 
     def _after_verification(self) -> None:
-        self.maybe_propose()
-        self.synchronizer.arm_request_timer()
+        self._rearm_proposer("verification", arm_timer=True)
 
     def require_verified(self, batch: list[ClientRequest],
                          fn: Callable[[], None]) -> None:
@@ -400,10 +414,19 @@ class ModSmartReplica:
     def is_leader(self) -> bool:
         return self.cv.leader(self.regency) == self.id
 
+    @property
+    def pipeline_window(self) -> int:
+        """Effective in-flight consensus window: the configured
+        ``pipeline_depth`` capped by what the engine supports."""
+        return min(self.config.pipeline_depth, self.engine.max_pipeline)
+
     def maybe_propose(self) -> None:
         if self.crashed or not self.active or not self.is_leader:
             return
         if self.synchronizer.in_sync_phase:
+            return
+        if self.pipeline_window > 1:
+            self._propose_window()
             return
         next_cid = self.last_decided + 1
         if self.engine.has_open_proposal(next_cid):
@@ -414,11 +437,64 @@ class ModSmartReplica:
         if not ready:
             return
         if len(ready) >= self.config.batch_size:
+            # ``_proposed_head`` guards the window between broadcasting a
+            # PROPOSE and processing its self-addressed copy (which is what
+            # creates the instance ``has_open_proposal`` sees): re-proposing
+            # the same cid in that window would orphan one batch's requests
+            # in ``inflight``.  The timer arming below stays reachable so
+            # sub-batch accumulation behaves exactly as before.
+            if next_cid <= self._proposed_head:
+                return
             self.cancel_batch_timer()
             self.engine.propose(ready[: self.config.batch_size])
+            self._proposed_head = max(self._proposed_head, next_cid)
         elif self._batch_timer is None:
             self._batch_timer = self.sim.schedule(
                 self.config.batch_timeout, self.guard(self._batch_timeout_fired))
+
+    def _next_window_cid(self) -> int | None:
+        """First unproposed cid in the window, or None when it is full.
+
+        ``_proposed_head`` covers cids whose self-addressed PROPOSE is still
+        in flight (the engine creates the instance only on delivery);
+        ``has_open_proposal`` covers instances adopted from a SYNC.
+        """
+        next_cid = max(self.last_decided, self._proposed_head) + 1
+        limit = self.last_decided + self.pipeline_window
+        while next_cid <= limit and self.engine.has_open_proposal(next_cid):
+            next_cid += 1
+        return next_cid if next_cid <= limit else None
+
+    def _propose_window(self) -> None:
+        """Pipelined propose loop (pipeline_window > 1): keep starting
+        instances until the window is full or ready requests run out.
+        Consecutive batches are disjoint — ``propose`` marks its batch
+        in flight and ``ready_requests`` skips in-flight keys."""
+        config = self.config
+        while True:
+            next_cid = self._next_window_cid()
+            if next_cid is None:
+                self._arm_stall_watch()
+                return
+            if self.delivery.backlog >= config.max_pending_decisions:
+                return  # flow control: let the delivery pipeline drain
+            ready = self.ready_requests()
+            if not ready:
+                return
+            if len(ready) < config.batch_size:
+                if self._batch_timer is None:
+                    self._batch_timer = self.sim.schedule(
+                        config.batch_timeout,
+                        self.guard(self._batch_timeout_fired))
+                return
+            self.cancel_batch_timer()
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.metrics.histogram("pipeline.depth", node=self.id).observe(
+                    next_cid - self.last_decided)
+            self.engine.propose(ready[: config.batch_size], cid=next_cid)
+            self._proposed_head = max(self._proposed_head, next_cid)
+            self._arm_stall_watch()
 
     def _batch_timeout_fired(self) -> None:
         self._batch_timer = None
@@ -426,20 +502,103 @@ class ModSmartReplica:
             return
         if self.synchronizer.in_sync_phase:
             return
-        if self.engine.has_open_proposal(self.last_decided + 1):
+        if self.pipeline_window > 1:
+            next_cid = self._next_window_cid()
+            if next_cid is None:
+                return
+            if self.delivery.backlog >= self.config.max_pending_decisions:
+                return
+            ready = self.ready_requests()
+            if ready:
+                self.engine.propose(ready[: self.config.batch_size],
+                                    cid=next_cid)
+                self._proposed_head = max(self._proposed_head, next_cid)
+                self._arm_stall_watch()
             return
+        next_cid = self.last_decided + 1
+        if self.engine.has_open_proposal(next_cid):
+            return
+        if next_cid <= self._proposed_head:
+            return  # self-addressed PROPOSE still in flight for this cid
         if self.delivery.backlog >= self.config.max_pending_decisions:
             # Re-check once the pipeline drains (maybe_propose re-arms).
             return
         ready = self.ready_requests()
         if ready:
             self.engine.propose(ready[: self.config.batch_size])
+            self._proposed_head = max(self._proposed_head, next_cid)
 
     def cancel_batch_timer(self) -> None:
         """Stop the batching timer (a proposal is going out another way)."""
         if self._batch_timer is not None:
             self._batch_timer.cancel()
             self._batch_timer = None
+
+    def reset_proposer(self) -> None:
+        """Forget the propose window (regency change / state transfer):
+        whoever leads next re-proposes the abandoned cids from scratch."""
+        self._proposed_head = -1
+        if self._stall_timer is not None:
+            self._stall_timer.cancel()
+            self._stall_timer = None
+
+    def _rearm_proposer(self, source: str, *, kick: bool = False,
+                        arm_timer: bool = False) -> None:
+        """Single re-arm point for the propose gate.
+
+        Every path that can unblock proposing — verification completing, a
+        decision landing, a view installing, state transfer finishing —
+        funnels through here, so the one trace point below attributes every
+        re-check to its trigger.
+        """
+        if kick:
+            self.engine.kick_pending()
+        self.trace.emit(self.sim.now, "rearm-proposer", replica=self.id,
+                        source=source)
+        self.maybe_propose()
+        if arm_timer:
+            self.synchronizer.arm_request_timer()
+
+    def _arm_stall_watch(self) -> None:
+        """Watchdog for a stalled pipeline (window > 1 only): withheld
+        votes for one instance must not starve the whole window silently —
+        if no decision lands for half a request timeout while instances are
+        in flight, a typed ``pipeline-stalled`` event is emitted.  (The
+        regency change that actually heals the stall comes later, from the
+        ordinary request timer.)"""
+        if self.pipeline_window <= 1 or self._stall_timer is not None:
+            return
+        self._stall_marker = self.last_decided
+        self._stall_timer = self.sim.schedule(
+            self.config.request_timeout / 2, self.guard(self._stall_check))
+
+    def _stall_check(self) -> None:
+        self._stall_timer = None
+        if self.crashed or not self.active or not self.is_leader:
+            return
+        if self.synchronizer.in_sync_phase:
+            return
+        head = self.last_decided + 1
+        in_flight = [
+            c for c in range(head, self.last_decided + self.pipeline_window + 1)
+            if self.engine.has_open_proposal(c)]
+        if not in_flight:
+            return
+        if self.last_decided == self._stall_marker:
+            self.pipeline_stalls += 1
+            self.trace.emit(self.sim.now, "pipeline-stalled",
+                            replica=self.id, head_cid=head,
+                            open_instances=len(in_flight))
+            rt = self.runtime
+            if rt.observing:
+                rt.notify("pipeline-stalled", head_cid=head,
+                          open_instances=len(in_flight),
+                          idle=self.config.request_timeout / 2,
+                          regency=self.regency)
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.metrics.counter("pipeline.stalls", node=self.id).inc()
+        self._arm_stall_watch()
 
     # ==================================================================
     # Decision sequencing and delivery
@@ -454,8 +613,7 @@ class ModSmartReplica:
             ready = self.decision_buffer.pop(self.last_decided + 1)
             self._deliver(ready)
         # A buffered future proposal may now be processable.
-        self.engine.kick_pending()
-        self.maybe_propose()
+        self._rearm_proposer("decision", kick=True)
 
     def _deliver(self, decision: Decision) -> None:
         self.last_decided = decision.cid
@@ -478,7 +636,7 @@ class ModSmartReplica:
         if (decision.batch and decision.batch[0].special == "vmview"
                 and self.config.view_manager_public is not None):
             self._apply_view_manager_request(decision)
-            self.maybe_propose()
+            self._rearm_proposer("view-manager")
             return
         # Execution may need local verification to have finished (PARALLEL).
         self.require_verified(decision.batch,
@@ -539,9 +697,9 @@ class ModSmartReplica:
         gap_start = self.engine.earliest_buffered()
         if gap_start is None:
             return
-        if gap_start <= self.last_decided + 1:
+        if gap_start <= self.last_decided + self.pipeline_window:
             self.arm_gap_check()
-            return  # next proposal is buffered; progress will resume
+            return  # next proposal is within the window; progress resumes
         # A hole: decisions between last_decided and the earliest buffered
         # proposal can no longer be obtained from live traffic — fetch them
         # via state transfer.
@@ -595,7 +753,7 @@ class ModSmartReplica:
                       members=list(new_view.members))
         if not new_view.contains(self.id):
             self.active = False
-        self.maybe_propose()
+        self._rearm_proposer("view-installed")
 
     # ==================================================================
     # Crash / recovery
@@ -612,6 +770,7 @@ class ModSmartReplica:
         if self._gap_timer is not None:
             self._gap_timer.cancel()
             self._gap_timer = None
+        self.reset_proposer()
         self.synchronizer.on_crash()
         self.state_transfer.on_crash()
         self.engine.on_crash()

@@ -1,0 +1,170 @@
+"""Deterministic parallel execution over a modeled core pool.
+
+The paper's Table I shows the execution stage becoming the bottleneck once
+signature verification moves off the state-machine thread; DISPEL
+("Byzantine SMR with Distributed Pipelining", PAPERS.md) argues the next
+factor comes from executing non-conflicting operations concurrently.  This
+module models exactly that, without giving up determinism:
+
+1. :func:`plan_batch` builds a dependency schedule over a decided batch
+   from the application's :meth:`~repro.smr.service.Application.conflict_keys`
+   declarations — each operation lands on the earliest *level* compatible
+   with every conflicting predecessor (write/write, write/read and
+   read/write conflicts order operations; an op declaring ``None`` is a
+   barrier: it waits for everything before it and blocks everything after).
+2. :func:`charge_execution` charges the per-transaction work of each level
+   onto the replica's ``exec_pool`` (``Resource(servers=exec_cores)``), one
+   level after another, then runs the continuation.  Per-batch overheads
+   stay on the state-machine thread.
+
+Only the *timing* is parallel.  The batch itself is still executed by
+``Application.execute_batch`` in sequence order on one interpreter, so
+results, reply payloads, digests and the blockchain layer are byte-identical
+for every core count; levels are derived deterministically from batch order.
+With ``exec_cores=1`` (or an application that does not override
+``conflict_keys``) the delivery layers never call into this module and take
+their exact pre-scheduler code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import VerificationMode
+from repro.smr.service import Application
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.smr.replica import ModSmartReplica
+    from repro.smr.requests import ClientRequest
+
+__all__ = ["ExecutionPlan", "parallel_execution", "plan_batch",
+           "per_tx_cost", "charge_execution"]
+
+
+@dataclass
+class ExecutionPlan:
+    """Topological schedule of one batch: ``levels[i]`` may run concurrently
+    once every level before it completed."""
+
+    levels: list[list["ClientRequest"]]
+    #: Operations that declared no footprint and forced a barrier.
+    barrier_ops: int
+
+    @property
+    def critical_path(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+
+def parallel_execution(replica: "ModSmartReplica", app: Application) -> bool:
+    """True when this replica models parallel execution for ``app`` — an
+    execution pool exists (``exec_cores > 1``) and the application declares
+    conflicts.  Delivery layers keep their exact serial code path when this
+    is False."""
+    return (replica.exec_pool is not None
+            and type(app).conflict_keys is not Application.conflict_keys)
+
+
+def plan_batch(app: Application,
+               batch: "list[ClientRequest]") -> ExecutionPlan:
+    """Assign every operation of ``batch`` (in order) to its earliest
+    compatible level.  Deterministic: a pure function of the batch order
+    and the application's conflict declarations."""
+    last_write: dict = {}   # key -> level of the latest writer
+    last_read: dict = {}    # key -> latest level with a reader
+    levels: list[list] = []
+    barrier_ops = 0
+    max_level = -1          # highest level assigned so far
+    barrier_floor = 0       # first level allowed after the latest barrier
+    for req in batch:
+        footprint = app.conflict_keys(req)
+        if footprint is None:
+            # Barrier: after everything so far, before everything later.
+            level = max(max_level + 1, barrier_floor)
+            barrier_floor = level + 1
+            barrier_ops += 1
+        else:
+            reads, writes = footprint
+            level = barrier_floor
+            for key in writes:
+                w = last_write.get(key)
+                if w is not None and w >= level:
+                    level = w + 1
+                r = last_read.get(key)
+                if r is not None and r >= level:
+                    level = r + 1
+            for key in reads:
+                w = last_write.get(key)
+                if w is not None and w >= level:
+                    level = w + 1
+            for key in writes:
+                last_write[key] = level
+            for key in reads:
+                if last_read.get(key, -1) < level:
+                    last_read[key] = level
+        while len(levels) <= level:
+            levels.append([])
+        levels[level].append(req)
+        if level > max_level:
+            max_level = level
+    return ExecutionPlan(levels=levels, barrier_ops=barrier_ops)
+
+
+def per_tx_cost(replica: "ModSmartReplica", req: "ClientRequest") -> float:
+    """The per-transaction share of :meth:`ModSmartReplica.execution_cost`
+    — execution, reply marshalling, signed-request overhead and (in the
+    SEQUENTIAL mode) the signature check.  This is the independent,
+    parallelizable work; per-batch overheads stay on the SM thread."""
+    costs = replica.costs
+    work = costs.exec_time_per_tx + costs.reply_time_per_tx
+    if req.signed:
+        work += costs.signed_tx_sm_overhead
+        if replica.config.verification is VerificationMode.SEQUENTIAL:
+            work += costs.crypto.verify_time
+    return work
+
+
+def charge_execution(replica: "ModSmartReplica", app: Application,
+                     batch: "list[ClientRequest]", serial_work: float,
+                     fn: Callable[..., None], *args) -> None:
+    """Charge the modeled cost of executing ``batch`` on the exec pool,
+    then run ``fn(*args)``.
+
+    ``serial_work`` (per-batch overheads, durability logging, ...) is
+    charged on the state-machine thread first; each dependency level of
+    the plan is then an aggregate pool job (makespan = level work spread
+    over the cores), chained in order.  The caller is responsible for
+    checking :func:`parallel_execution` and keeping its serial path
+    untouched when that is False.
+    """
+    plan = plan_batch(app, batch)
+    pool = replica.exec_pool
+    obs = replica.sim.obs
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.counter("exec.parallel_batches", node=replica.id).inc()
+        metrics.histogram("exec.critical_path",
+                          node=replica.id).observe(plan.critical_path)
+        if plan.barrier_ops:
+            metrics.counter("exec.barrier_ops",
+                            node=replica.id).inc(plan.barrier_ops)
+    levels = plan.levels
+
+    def run_level(index: int) -> None:
+        if index >= len(levels):
+            fn(*args)
+            return
+        level = levels[index]
+        total = 0.0
+        for req in level:
+            total += per_tx_cost(replica, req)
+        # Aggregate pool job: mean unit x count spreads the level's work
+        # evenly over the cores (same modeling as the verification pool).
+        pool.submit_bulk(total / len(level), len(level),
+                         replica.guard(run_level), index + 1)
+
+    replica.charge_sm(serial_work, run_level, 0)

@@ -53,6 +53,26 @@ class Application(abc.ABC):
         """Execute a batch in order; returns request key -> ExecutionResult."""
         return {req.key: self.execute(req) for req in batch}
 
+    def conflict_keys(
+            self, request: ClientRequest) -> tuple[tuple, tuple] | None:
+        """Per-operation ``(reads, writes)`` key sets for the parallel
+        execution scheduler (:mod:`repro.smr.scheduler`), or ``None`` when
+        the operation's footprint cannot be bounded before execution (the
+        scheduler then serializes it as a barrier).
+
+        Two operations conflict when one writes a key the other reads or
+        writes; non-conflicting operations may be *timed* as concurrent.
+        Execution itself always runs in sequence order on one interpreter,
+        so results stay deterministic regardless of core count — the sets
+        shape only the modeled makespan.
+
+        The base implementation is a sentinel: applications that do not
+        override it are executed strictly serially (the scheduler checks
+        for an override, so the declared-barrier and undeclared cases
+        behave differently in timing).
+        """
+        return None
+
 
 class DeliveryLayer(abc.ABC):
     """Receives decisions in cid order; owns execution, durability, replies."""
@@ -183,6 +203,13 @@ class MemoryDelivery(DeliveryLayer):
         self.executed_cid = -1
 
     def on_decide(self, decision: Decision) -> None:
+        # Import here to avoid the service <-> scheduler cycle.
+        from repro.smr import scheduler
+        if scheduler.parallel_execution(self.replica, self.app):
+            scheduler.charge_execution(
+                self.replica, self.app, decision.batch,
+                self.replica.costs.batch_overhead, self._apply, decision)
+            return
         work = self.replica.execution_cost(decision.batch)
         self.replica.charge_sm(work, self._apply, decision)
 

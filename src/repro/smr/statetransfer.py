@@ -245,6 +245,9 @@ class StateTransferEngine:
         replica.decision_buffer = {
             c: d for c, d in replica.decision_buffer.items() if c > cid}
         replica.engine.discard_through(cid)
+        # Any propose window this replica had in flight predates the
+        # installed state: forget it so the windowed loop restarts cleanly.
+        replica.reset_proposer()
         if replica.delivery.can_self_verify():
             # Blocks that missed their certificate while this replica was
             # behind may be waiting on exactly its PERSIST vote (same as
@@ -269,8 +272,7 @@ class StateTransferEngine:
                       seconds=self.last_transfer_seconds)
         if done is not None:
             done(cid)
-        self.replica.kick_pending_proposals()
-        self.replica.maybe_propose()
+        self.replica._rearm_proposer("state-transfer", kick=True)
 
     # ------------------------------------------------------------------
     # Sender side
