@@ -77,6 +77,9 @@ EXPERIMENTS = {
     "pipeline": ("6 rows", "pipelining sweep — consensus pipeline depth x "
                  "modeled exec cores on the Table I Durable-SMaRt row "
                  "(see docs/performance.md)"),
+    "recovery": ("3 rows", "storage-fault recovery sweep — bit-rot / "
+                 "torn-write / gray-disk under crash-recover storms, "
+                 "audited (see docs/faults.md)"),
 }
 
 
@@ -175,7 +178,7 @@ def _main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="experiment")
 
     for name in ("table1", "table2", "calibration", "engines", "shards",
-                 "pipeline"):
+                 "pipeline", "recovery"):
         p = sub.add_parser(name)
         _common(p)
         if name == "shards":
@@ -183,6 +186,11 @@ def _main(argv: list[str] | None = None) -> int:
             # ordering pipeline; the default client population is the
             # paper's full closed-loop count, not the lighter bench one.
             p.set_defaults(clients=2400)
+        if name == "recovery":
+            # Recovery runs measure fault handling, not peak throughput:
+            # a light client load keeps them fast while the duration
+            # covers the plans' full crash-recover storms.
+            p.set_defaults(clients=300, duration=3.0)
 
     p = sub.add_parser("smartchain")
     _common(p)
@@ -239,9 +247,10 @@ def _main(argv: list[str] | None = None) -> int:
                 f"cannot load baseline {args.check_against}: {exc}")
     fault_plan = None
     if args.faults is not None:
-        if args.experiment not in ("smartchain", "engines", "pipeline"):
-            parser.error("--faults needs the smartchain, engines or "
-                         "pipeline experiment (the comparators have no "
+        if args.experiment not in ("smartchain", "engines", "pipeline",
+                                   "recovery"):
+            parser.error("--faults needs the smartchain, engines, pipeline "
+                         "or recovery experiment (the comparators have no "
                          "replica runtimes to compromise)")
         from repro.faults import FaultPlanError, load_plan
         try:  # resolve now so typos fail before the simulation starts
@@ -340,6 +349,21 @@ def _main(argv: list[str] | None = None) -> int:
                                  **kwargs))
                     for shards in (1, 2, 4)
                     for fraction in (0.0, 0.1)]
+        elif args.experiment == "recovery":
+            # Storage-fault sweep on the Table I Durable-SMaRt row: each
+            # named plan damages one replica's stable storage under a
+            # crash-recover storm, and every row runs with the safety +
+            # recovery auditors attached — verified recovery must keep the
+            # recovered replica on the canonical chain (docs/faults.md).
+            experiment = "recovery"
+            plans = ([fault_plan] if fault_plan is not None else
+                     ["bitrot-recovery", "torn-write-recovery", "gray-disk"])
+            rows = [run(Scenario(
+                system="dura", engine=engine, faults=plan,
+                label="Dura-SMaRt recovery "
+                      f"[{getattr(plan, 'name', plan)}]",
+                **{**kwargs, "audit": True}))
+                    for plan in plans]
         elif args.experiment == "pipeline":
             # Pipelining sweep on the Table I Durable-SMaRt row: the
             # depth=1/cores=1 corner is byte-identical to the table1 dura

@@ -697,6 +697,18 @@ def run(scenario: Scenario) -> ExperimentResult:
         else:
             liveness = LivenessAuditor(bound=bound, gst=gst, wedge_k=wedge_k)
         liveness.attach(obs)
+    recovery = None
+    if scenario.audit:
+        # Recovery evidence rides the same event stream the safety auditor
+        # checks: every audited run also verifies that recovered replicas
+        # rejoin on the canonical chain (docs/faults.md).
+        from repro.obs.recovery import RecoveryAuditor
+        if scenario.shards > 1:
+            from repro.core.multichain import shard_of_node
+            recovery = RecoveryAuditor(scope=shard_of_node)
+        else:
+            recovery = RecoveryAuditor()
+        recovery.attach(obs)
     sim = Simulator(scenario.seed, obs=obs)
     built = builder(sim, scenario, costs)
     if fault_plan is not None:
@@ -765,6 +777,23 @@ def run(scenario: Scenario) -> ExperimentResult:
                 key = str(regency)
                 timeouts[key] = max(timeouts.get(key, 0.0), timeout)
         metrics["regency_timeouts"] = timeouts
+        # Recovery/storage health rollup (docs/faults.md, "Storage faults
+        # & verified recovery"): cluster-wide totals of what verified
+        # recovery replayed, cut and fell back on, plus the storage-level
+        # detections that triggered it.
+        metrics["recovery.verified_entries"] = sum(
+            getattr(r.delivery, "recovery_verified_entries", 0)
+            for r in built.replicas.values())
+        metrics["recovery.truncated_entries"] = sum(
+            getattr(r.delivery, "recovery_truncated_entries", 0)
+            for r in built.replicas.values())
+        metrics["recovery.fallbacks"] = sum(
+            getattr(r.delivery, "recovery_fallbacks", 0)
+            for r in built.replicas.values())
+        metrics["storage.bitrot_detected"] = sum(
+            r.store.bitrot_detected for r in built.replicas.values())
+        metrics["storage.gray_periods"] = sum(
+            r.store.disk.gray_periods for r in built.replicas.values())
     if obs.enabled:
         for key, before in cache_before.items():
             obs.metrics.counter(f"crypto.{key}").inc(cache_after[key] - before)
@@ -774,6 +803,10 @@ def run(scenario: Scenario) -> ExperimentResult:
                 metrics["regency_changes"])
             obs.metrics.counter("sync.watchdog_fires").inc(
                 metrics["watchdog_fires"])
+            for key in ("recovery.verified_entries",
+                        "recovery.truncated_entries", "recovery.fallbacks",
+                        "storage.bitrot_detected", "storage.gray_periods"):
+                obs.metrics.counter(key).inc(metrics[key])
         for shard, entry in metrics.get("per_shard", {}).items():
             obs.metrics.counter(f"shard.{shard}.blocks").inc(
                 entry["blocks"])
@@ -798,6 +831,8 @@ def run(scenario: Scenario) -> ExperimentResult:
         auditor.raise_if_violated()
     if liveness is not None:
         liveness.raise_if_violated()
+    if recovery is not None:
+        recovery.raise_if_violated()
     return result
 
 

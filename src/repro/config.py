@@ -167,6 +167,12 @@ class SMRConfig:
     #: SMARTCHAIN nodes never set this — their reconfiguration is
     #: decentralized (repro.core.reconfig).
     view_manager_public: str | None = None
+    #: Verified recovery: replay only the checksum- and linkage-valid
+    #: prefix of the stable log after a recoverable crash, rejecting
+    #: corrupted snapshots ("Storage faults & verified recovery",
+    #: docs/faults.md).  ``False`` is the negative-control escape hatch —
+    #: blind replay, the pre-hardening behavior.
+    verify_recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.n < 3 * self.f + 1:

@@ -30,6 +30,7 @@ from repro.faults.plan import (
     FaultPlanError,
     MembershipAction,
     NetworkAction,
+    StorageFaultSpec,
     load_plan,
 )
 
@@ -47,6 +48,7 @@ __all__ = [
     "NAMED_PLANS",
     "NetworkAction",
     "StaleReplayBehavior",
+    "StorageFaultSpec",
     "WithholdVotesBehavior",
     "load_plan",
 ]

@@ -11,6 +11,7 @@ membership tracking).
 
 from __future__ import annotations
 
+import random
 from typing import Any
 
 from repro.errors import ReproError
@@ -104,6 +105,18 @@ class FaultInjector:
                     sim.schedule_at(spec.recover_at + offset, self._recover,
                                     target, spec)
 
+        for index, spec in enumerate(plan.storage):
+            replica = replicas.get(spec.node)
+            if replica is None:
+                raise FaultInjectionError(
+                    f"plan {plan.name!r} injects a storage fault into "
+                    f"unknown node {spec.node}")
+            # A private RNG stream per fault, so the corruption site is a
+            # pure function of (sim seed, plan seed, fault index, node).
+            rng = random.Random(
+                f"faults:{sim.seed}:{plan.seed}:storage:{index}:{spec.node}")
+            sim.schedule_at(spec.at, self._storage_fault, replica, spec, rng)
+
         for action in plan.membership:
             if nodes is None or action.node not in nodes:
                 raise FaultInjectionError(
@@ -144,6 +157,13 @@ class FaultInjector:
         if replica.crashed:
             self._announce(self._sim.now, spec.node, action="recover")
             target.recover()
+
+    def _storage_fault(self, replica, spec, rng) -> None:
+        applied = dict(replica.store.inject_fault(
+            spec.kind, rng, **spec.params))
+        applied.pop("kind", None)
+        self._announce(self._sim.now, spec.node, action="storage",
+                       fault=spec.kind, **applied)
 
     def _leave(self, node) -> None:
         self._announce(self._sim.now, node.id, action="leave")

@@ -21,12 +21,14 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.errors import ReproError
+from repro.storage.stable import STORAGE_FAULT_KINDS
 
 __all__ = [
     "BehaviorSpec",
     "NetworkAction",
     "CrashSpec",
     "MembershipAction",
+    "StorageFaultSpec",
     "FaultPlan",
     "NAMED_PLANS",
     "load_plan",
@@ -113,6 +115,34 @@ class CrashSpec:
 
 
 @dataclass(frozen=True)
+class StorageFaultSpec:
+    """One scheduled storage fault against one node's stable store.
+
+    ``kind`` is one of :data:`repro.storage.stable.STORAGE_FAULT_KINDS`
+    (``bit-rot``, ``torn-write``, ``gray-disk``, ``fsync-lie``); ``at`` is
+    when the fault is injected (simulated seconds); ``params`` are
+    kind-specific knobs passed to
+    :meth:`~repro.storage.stable.StableStore.inject_fault` (e.g. ``factor``/
+    ``duration``/``budget`` for gray-disk, ``index`` for bit-rot).  The
+    corruption site is otherwise drawn from the plan's seeded RNG stream,
+    so the same (sim seed, plan) pair always damages the same record.
+    """
+
+    node: int
+    kind: str
+    at: float
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown storage fault {self.kind!r}; "
+                f"expected one of {STORAGE_FAULT_KINDS}")
+        if self.at < 0.0:
+            raise FaultPlanError("storage fault time must be >= 0")
+
+
+@dataclass(frozen=True)
 class MembershipAction:
     """A scheduled reconfiguration request (currently: ``leave``)."""
 
@@ -139,6 +169,11 @@ class FaultPlan:
     behaviors: tuple[BehaviorSpec, ...] = ()
     network: tuple[NetworkAction, ...] = ()
     crashes: tuple[CrashSpec, ...] = ()
+    #: Storage faults (bit-rot, torn-write, gray-disk, fsync-lie) scheduled
+    #: against individual nodes' stable stores — composable with ``crashes``
+    #: so a damaged log is actually *read back* (docs/faults.md, "Storage
+    #: faults & verified recovery").
+    storage: tuple[StorageFaultSpec, ...] = ()
     membership: tuple[MembershipAction, ...] = ()
     #: SMR config overrides applied to every replica at install time, e.g.
     #: ``{"request_timeout": 0.25}`` so a short chaos run still exercises
@@ -159,6 +194,7 @@ class FaultPlan:
         object.__setattr__(self, "behaviors", tuple(self.behaviors))
         object.__setattr__(self, "network", tuple(self.network))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "storage", tuple(self.storage))
         object.__setattr__(self, "membership", tuple(self.membership))
         if self.shard is not None and self.shard < 0:
             raise FaultPlanError(f"shard must be >= 0, got {self.shard}")
@@ -199,6 +235,10 @@ class FaultPlan:
                           recover_at=spec.recover_at,
                           repeat=spec.repeat, period=spec.period)
                 for spec in self.crashes),
+            storage=tuple(
+                StorageFaultSpec(spec.node + base, spec.kind, spec.at,
+                                 params=dict(spec.params))
+                for spec in self.storage),
             membership=tuple(
                 MembershipAction(action.op, action.node + base, action.at)
                 for action in self.membership),
@@ -222,6 +262,8 @@ class FaultPlan:
                               for action in data.get("network", ())),
                 crashes=tuple(CrashSpec(**spec)
                               for spec in data.get("crashes", ())),
+                storage=tuple(StorageFaultSpec(**spec)
+                              for spec in data.get("storage", ())),
                 membership=tuple(MembershipAction(**action)
                                  for action in data.get("membership", ())),
                 protocol=dict(data.get("protocol", {})),
@@ -363,6 +405,55 @@ NAMED_PLANS.update({
         behaviors=(BehaviorSpec("stop-spam", nodes=(3,), after=0.4,
                                 params={"period": 0.05, "ahead": 2}),),
         liveness={"bound": 1.0},
+    ),
+})
+
+
+# Storage-fault plans (docs/faults.md, "Storage faults & verified
+# recovery"): each composes a storage fault with a crash-recover storm so
+# the damaged stable log is actually read back, and pairs with
+# ``Scenario(audit=True)`` — verified recovery must keep the recovered
+# replica on the canonical chain (the recovery auditor's
+# ``recovery-divergence`` invariant).
+NAMED_PLANS.update({
+    # Bit-rot under a crash storm: a stable log record on replica 2 is
+    # silently corrupted, then the replica crash-recovers twice.  Verified
+    # recovery must detect the checksum mismatch, truncate to the longest
+    # valid prefix and state-transfer the rest.
+    "bitrot-recovery": FaultPlan(
+        name="bitrot-recovery",
+        storage=(StorageFaultSpec(node=2, kind="bit-rot", at=0.8),),
+        crashes=(CrashSpec(node=2, at=1.0, recover_at=1.4,
+                           repeat=2, period=1.0),),
+    ),
+    # Torn write: replica 1's next sync commits only a prefix of its group
+    # before the replica crash-recovers.  Verified recovery must stop at
+    # the resulting hole (cid/linkage gap) instead of replaying past it.
+    "torn-write-recovery": FaultPlan(
+        name="torn-write-recovery",
+        storage=(StorageFaultSpec(node=1, kind="torn-write", at=0.7),),
+        crashes=(CrashSpec(node=1, at=1.0, recover_at=1.4,
+                           repeat=2, period=1.0),),
+    ),
+    # Gray disk (fail-slow, not fail-stop): replica 0's disk serves syncs
+    # 8x slower for 0.6 s.  No crash — the run must stay live and every
+    # over-budget sync must surface as a ``disk-degraded`` event.
+    "gray-disk": FaultPlan(
+        name="gray-disk",
+        storage=(StorageFaultSpec(node=0, kind="gray-disk", at=0.5,
+                                  params={"factor": 8.0, "duration": 0.6,
+                                          "budget": 0.01}),),
+    ),
+    # Negative control: the same bit-rot storm with recovery verification
+    # switched off.  The corrupted record replays blindly, so an audited
+    # run must FAIL with a ``recovery-divergence`` violation (exit code 2
+    # on the CLI) — this is what checksummed recovery buys.
+    "bitrot-unverified": FaultPlan(
+        name="bitrot-unverified",
+        storage=(StorageFaultSpec(node=2, kind="bit-rot", at=0.8),),
+        crashes=(CrashSpec(node=2, at=1.0, recover_at=1.4,
+                           repeat=2, period=1.0),),
+        protocol={"verify_recovery": False},
     ),
 })
 

@@ -110,6 +110,9 @@ class Observability:
         #: The attached LivenessAuditor, if any (set by
         #: LivenessAuditor.attach).
         self.liveness: Any = None
+        #: The attached RecoveryAuditor, if any (set by
+        #: RecoveryAuditor.attach).
+        self.recovery: Any = None
         #: Every Resource constructed on the owning simulator (self-registered).
         self.resources: list[Any] = []
         #: Every Network constructed on the owning simulator (self-registered).

@@ -55,6 +55,11 @@ EVENT_KINDS = frozenset({
     "cert-redeemed",        # apps/smartcoin.py: cross-shard transfer minted
     "cert-rejected",        # apps/smartcoin.py: transfer certificate refused
     "pipeline-stalled",     # smr/replica.py: in-flight window made no progress
+    "log-corruption-detected",  # delivery recover_local: checksum/linkage cut
+    "snapshot-rejected",    # delivery recover_local: snapshot digest mismatch
+    "recovery-fallback",    # delivery recover_local: truncated, needs transfer
+    "recovery-verified",    # delivery recover_local: replayed prefix validated
+    "disk-degraded",        # storage/disk.py: gray sync exceeded its budget
 })
 
 #: Event kinds emitted by client stations rather than replicas.  Their

@@ -1,0 +1,174 @@
+"""Online recovery auditor: does a recovered replica rejoin on the truth?
+
+The safety auditor checks what replicas *say* while running; this auditor
+checks what a crashed replica *rebuilds from its own disk*.  Verified
+recovery (``docs/faults.md``, "Storage faults & verified recovery")
+truncates the stable log to its longest checksum- and linkage-valid prefix
+and replays only that; each ``recovering`` event carries the replayed
+``(cid, recomputed batch hash)`` pairs as evidence.  The auditor compares
+that evidence against the canonical decision stream (``decide`` events),
+so a corrupted record that slips through unverified replay — the
+``verify_recovery=False`` negative control — shows up as a divergence at
+the exact recovery that resurrected it, *before* state transfer silently
+heals the replica and hides the hole.
+
+Invariants
+----------
+``recovery-divergence``
+    A recovered replica's replayed prefix must match the canonical chain:
+    every replayed cid's recomputed batch hash equals the decided batch
+    hash for that cid.
+``phantom-replay``
+    A recovered replica must not replay a consensus id that was never
+    decided (a corrupted cid field points the replay at history that does
+    not exist).
+
+The auditor also tallies the recovery/storage health events
+(``log-corruption-detected``, ``snapshot-rejected``, ``recovery-fallback``,
+``recovery-verified``, ``disk-degraded``) for the run report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.audit import AuditError, Violation
+from repro.obs.events import ProtocolEvent
+
+__all__ = ["RECOVERY_INVARIANTS", "RecoveryAuditor", "audit_recovery_log"]
+
+#: Names of the invariants the recovery auditor enforces.
+RECOVERY_INVARIANTS = ("recovery-divergence", "phantom-replay")
+
+
+class RecoveryAuditor:
+    """Checks recovery evidence against the canonical decision stream.
+
+    Attach to a run with :meth:`attach` (subscribes to ``obs.events`` and
+    forces event recording on), or feed events directly via
+    :meth:`on_event` for offline sweeps.  ``scope`` maps a node id to its
+    consensus group (shard), so sharded runs compare a recovery only
+    against its own shard's decisions; the default places every node in
+    one group.
+    """
+
+    INVARIANTS = RECOVERY_INVARIANTS
+
+    def __init__(self, strict: bool = False,
+                 scope: Callable[[int], int] | None = None):
+        self.strict = strict
+        self.scope = scope or (lambda node: 0)
+        self.violations: list[Violation] = []
+        self.events_checked = 0
+        # (group, cid) -> canonical batch hash hex from decide events.
+        self._decided: dict[tuple[int, int], str] = {}
+        # Health tallies.
+        self.recoveries_seen = 0
+        self.recoveries_verified = 0
+        self.corruption_detected = 0
+        self.snapshots_rejected = 0
+        self.fallbacks = 0
+        self.disk_degraded = 0
+        self.replayed_checked = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, obs: Any) -> "RecoveryAuditor":
+        """Subscribe to a run's event stream (forces recording on)."""
+        obs.record_events = True
+        obs.events.subscribe(self.on_event)
+        obs.recovery = self
+        return self
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "invariants": list(self.INVARIANTS),
+            "events_checked": self.events_checked,
+            "recoveries_seen": self.recoveries_seen,
+            "recoveries_verified": self.recoveries_verified,
+            "replayed_checked": self.replayed_checked,
+            "corruption_detected": self.corruption_detected,
+            "snapshots_rejected": self.snapshots_rejected,
+            "fallbacks": self.fallbacks,
+            "disk_degraded": self.disk_degraded,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def raise_if_violated(self) -> None:
+        if self.violations:
+            raise AuditError(self.violations)
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def on_event(self, event: ProtocolEvent) -> None:
+        handler = getattr(
+            self, "_on_" + event.kind.replace("-", "_"), None)
+        if handler is None:
+            return
+        self.events_checked += 1
+        handler(event)
+
+    def _flag(self, invariant: str, message: str, event: ProtocolEvent,
+              **context: Any) -> None:
+        violation = Violation(invariant, message, event, context)
+        self.violations.append(violation)
+        if self.strict:
+            raise AuditError([violation])
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _on_decide(self, event: ProtocolEvent) -> None:
+        key = (self.scope(event.node), event.fields["cid"])
+        self._decided.setdefault(key, event.fields["batch_hash"])
+
+    def _on_recovering(self, event: ProtocolEvent) -> None:
+        self.recoveries_seen += 1
+        group = self.scope(event.node)
+        for cid, digest in event.fields.get("replayed", ()):
+            self.replayed_checked += 1
+            canonical = self._decided.get((group, cid))
+            if canonical is None:
+                self._flag(
+                    "phantom-replay",
+                    f"replica {event.node} replayed cid {cid}, which was "
+                    "never decided",
+                    event, cid=cid, replayed_hash=digest)
+            elif canonical != digest:
+                self._flag(
+                    "recovery-divergence",
+                    f"replica {event.node} replayed cid {cid} with batch "
+                    f"hash {digest[:16]}…, but the group decided "
+                    f"{canonical[:16]}…",
+                    event, cid=cid, replayed_hash=digest,
+                    decided_hash=canonical)
+
+    def _on_recovery_verified(self, event: ProtocolEvent) -> None:
+        self.recoveries_verified += 1
+
+    def _on_log_corruption_detected(self, event: ProtocolEvent) -> None:
+        self.corruption_detected += 1
+
+    def _on_snapshot_rejected(self, event: ProtocolEvent) -> None:
+        self.snapshots_rejected += 1
+
+    def _on_recovery_fallback(self, event: ProtocolEvent) -> None:
+        self.fallbacks += 1
+
+    def _on_disk_degraded(self, event: ProtocolEvent) -> None:
+        self.disk_degraded += 1
+
+
+def audit_recovery_log(events, scope: Callable[[int], int] | None = None,
+                       strict: bool = False) -> RecoveryAuditor:
+    """Offline sweep: run the recovery auditor over recorded events."""
+    auditor = RecoveryAuditor(strict=strict, scope=scope)
+    for event in events:
+        auditor.on_event(event)
+    return auditor

@@ -102,6 +102,9 @@ def build_run_report(result: Any, obs: Any, horizon: float) -> dict[str, Any]:
     liveness = getattr(obs, "liveness", None)
     if liveness is not None:
         report["liveness"] = liveness.summary()
+    recovery = getattr(obs, "recovery", None)
+    if recovery is not None:
+        report["recovery"] = recovery.summary()
     return report
 
 
@@ -160,6 +163,16 @@ def validate_report(report: Any) -> dict[str, Any]:
                  "liveness regency_timeline is not a list")
         _require(isinstance(liveness["violations"], list),
                  "liveness violations is not a list")
+    if "recovery" in report:  # additive section (recovery auditor attached)
+        recovery = report["recovery"]
+        _require(isinstance(recovery, dict), "recovery is not a mapping")
+        for key in ("invariants", "events_checked", "recoveries_seen",
+                    "replayed_checked", "corruption_detected",
+                    "snapshots_rejected", "fallbacks", "disk_degraded",
+                    "violations"):
+            _require(key in recovery, f"recovery missing {key!r}")
+        _require(isinstance(recovery["violations"], list),
+                 "recovery violations is not a list")
     _require(isinstance(report["phases"], dict), "phases is not a mapping")
     for phase, stats in report["phases"].items():
         for key in _PHASE_STAT_KEYS:

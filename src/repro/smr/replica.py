@@ -114,6 +114,10 @@ class ModSmartReplica:
         self.delivery = delivery
         self.store = store or StableStore(sim, disk_config=costs.disk,
                                           name=f"store-{replica_id}")
+        # Bind the machine's storage to this identity so storage faults and
+        # disk-degraded events name the replica they hit.
+        self.store.node = replica_id
+        self.store.disk.node = replica_id
         self.trace = trace or TraceLog(enabled=False)
         self.key_policy = key_policy
 
@@ -805,10 +809,20 @@ class ModSmartReplica:
                         local_cid=recovered)
         rt = self.runtime
         if rt.observing:
-            rt.notify(
-                "recovering", local_cid=recovered,
+            fields = dict(
+                local_cid=recovered,
                 height=getattr(getattr(self.delivery, "chain", None),
                                "height", -1))
+            info = getattr(self.delivery, "last_recovery", None)
+            if info is not None:
+                # Replay evidence for the recovery auditor: the (cid,
+                # recomputed batch hash) pairs of the replayed prefix.
+                fields.update(
+                    replayed=[[cid, digest]
+                              for cid, digest in info.get("replayed", ())],
+                    verified=info.get("verified", 0),
+                    truncated=info.get("truncated", 0))
+            rt.notify("recovering", **fields)
 
         def done(target_cid: int) -> None:
             self.active = True

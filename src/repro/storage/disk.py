@@ -7,6 +7,12 @@ the physical fact the Dura-SMaRt durability layer exploits: the latency term
 dominates, so syncing ten batches in one write costs almost the same as
 syncing one ("diluting the cost of a synchronous write among many requests",
 Section II-C2).
+
+The model also covers the *gray* failure mode — a disk that is slow rather
+than dead: :meth:`Disk.degrade` inflates the service time of synchronous
+writes by a factor over a window, and any sync whose service time exceeds
+the declared budget raises a ``disk-degraded`` protocol event (the recovery
+auditor counts them).
 """
 
 from __future__ import annotations
@@ -38,6 +44,24 @@ class Disk:
         self.channel = Resource(sim, servers=1, name=name)
         self.bytes_written = 0
         self.sync_count = 0
+        #: Owning machine/replica id (set by the replica; -1 = unbound).
+        self.node = -1
+        #: Number of gray-disk degradation windows opened on this device.
+        self.gray_periods = 0
+        # Gray-disk state: inert (a float comparison) in fault-free runs.
+        self._degrade_factor = 1.0
+        self._degrade_until = -1.0
+        self._degrade_budget: float | None = None
+
+    def degrade(self, factor: float, until: float,
+                budget: float | None = None) -> None:
+        """Open a gray window: until ``until``, synchronous writes take
+        ``factor`` times as long; syncs whose total service exceeds
+        ``budget`` emit a ``disk-degraded`` event."""
+        self._degrade_factor = factor
+        self._degrade_until = until
+        self._degrade_budget = budget
+        self.gray_periods += 1
 
     def write(
         self,
@@ -56,6 +80,16 @@ class Disk:
         if sync:
             service += self.config.sync_latency
             self.sync_count += 1
+            if self._degrade_until > self.sim.now:
+                service *= self._degrade_factor
+                if (self._degrade_budget is not None
+                        and service > self._degrade_budget):
+                    obs = self.sim.obs
+                    if obs.record_events:
+                        obs.events.emit(
+                            "disk-degraded", self.node, self.sim.now,
+                            latency=service, budget=self._degrade_budget,
+                            factor=self._degrade_factor)
         self.bytes_written += nbytes
         self.channel.submit(service, fn, *args)
 

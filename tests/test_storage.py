@@ -1,10 +1,15 @@
 """Unit tests for the stable-storage substrate (sync/volatile semantics)."""
 
-import pytest
+import random
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
 from repro.sim.engine import Simulator
 from repro.storage.disk import Disk, DiskConfig
-from repro.storage.stable import AsyncFlusher, StableStore
+from repro.storage.stable import STORAGE_FAULT_KINDS, AsyncFlusher, StableStore
 
 
 class TestDisk:
@@ -170,6 +175,163 @@ class TestStableStore:
         with pytest.raises(Exception):
             store.append("log", "x", -1)
 
+    def test_negative_cell_size_rejected(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        with pytest.raises(StorageError):
+            store.put("cell", "x", -1)
+
+    def test_negative_snapshot_size_rejected(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        with pytest.raises(StorageError):
+            store.write_snapshot("snap", {"state": 1}, -1)
+
+
+def _stable_store(payloads):
+    """A store with ``payloads`` appended to one synced log."""
+    sim = Simulator()
+    store = StableStore(sim)
+    for payload in payloads:
+        store.append("log", payload, 10)
+    store.sync()
+    sim.run()
+    return store
+
+
+class TestChecksums:
+    def test_append_stamps_a_checksum(self):
+        store = _stable_store([("txs", 1, "aa")])
+        (entry,) = store.read_entries("log")
+        assert entry.checksum
+        assert store.verify_entry(entry)
+
+    def test_checksum_survives_sync_round_trip(self):
+        payloads = [("txs", k, [("client", k)], f"h{k}") for k in range(8)]
+        store = _stable_store(payloads)
+        entries = store.read_entries("log")
+        assert [e.payload for e in entries] == payloads
+        assert all(store.verify_entry(e) for e in entries)
+
+    def test_tampered_payload_fails_verification(self):
+        store = _stable_store([("txs", 1, "aa"), ("txs", 2, "bb")])
+        store.read_entries("log")[1].payload = ("txs", 2, "cc")
+        entries = store.read_entries("log")
+        assert store.verify_entry(entries[0])
+        assert not store.verify_entry(entries[1])
+
+    def test_verify_cell(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.put("cell", {"state": 1}, 10)
+        store.sync()
+        sim.run()
+        assert store.verify_cell("cell")
+        assert store.verify_cell("absent")  # vacuously valid
+        store.inject_fault("bit-rot", random.Random(7), cell="cell")
+        assert not store.verify_cell("cell")
+
+
+class TestFaultInjection:
+    def test_bitrot_corrupts_one_entry_and_leaves_checksum_stale(self):
+        store = _stable_store([("txs", k, f"h{k}") for k in range(6)])
+        applied = store.inject_fault("bit-rot", random.Random(3), index=4)
+        assert applied["applied"] and applied["index"] == 4
+        entries = store.read_entries("log")
+        assert [store.verify_entry(e) for e in entries] == [
+            True, True, True, True, False, True]
+
+    def test_bitrot_on_empty_store_is_a_noop(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        assert store.inject_fault(
+            "bit-rot", random.Random(0))["applied"] is False
+
+    def test_torn_write_commits_only_a_prefix(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        for k in range(5):
+            store.append("log", k, 10)
+        store.inject_fault("torn-write", random.Random(1), keep=2)
+        store.sync()
+        sim.run()
+        assert store.read_log("log") == [0, 1]
+        assert store.torn_entries_lost == 3
+        # The fault is one-shot: the next sync is honest.
+        store.append("log", 5, 10)
+        store.sync()
+        sim.run()
+        assert store.read_log("log") == [0, 1, 5]
+
+    def test_fsync_lie_reports_success_but_keeps_data_volatile(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.append("log", "x", 10)
+        store.inject_fault("fsync-lie", random.Random(1))
+        acked = []
+        store.sync(acked.append, "ok")
+        sim.run()
+        assert acked == ["ok"]           # the barrier claimed success...
+        assert store.read_log("log") == []  # ...but nothing is stable
+        assert store.volatile_length("log") == 1
+        store.sync()                     # an honest sync still heals it
+        sim.run()
+        assert store.read_log("log") == ["x"]
+
+    def test_gray_disk_inflates_sync_latency_within_window(self):
+        def sync_time(degraded):
+            sim = Simulator()
+            store = StableStore(sim)
+            if degraded:
+                store.inject_fault("gray-disk", random.Random(1),
+                                   factor=10.0, duration=5.0)
+            store.append("log", "x", 100)
+            done = []
+            store.sync(lambda: done.append(sim.now))
+            sim.run()
+            return done[0]
+
+        assert sync_time(True) > 5 * sync_time(False)
+
+    def test_gray_disk_counts_a_period(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        store.inject_fault("gray-disk", random.Random(1), factor=2.0,
+                           duration=0.1)
+        assert store.disk.gray_periods == 1
+
+    def test_unknown_kind_rejected(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        with pytest.raises(StorageError, match="unknown storage fault"):
+            store.inject_fault("head-crash", random.Random(1))
+        assert "head-crash" not in STORAGE_FAULT_KINDS
+
+
+class TestVerifiedPrefixProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=12),
+           index=st.integers(min_value=0, max_value=11),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_first_invalid_entry_is_exactly_the_corrupted_one(
+            self, n, index, seed):
+        """For any corrupted index and any corruption seed, the longest
+        checksum-valid prefix ends exactly at the damaged record — what
+        verified replay recovers."""
+        index %= n
+        payloads = [("txs", k, [("client", k, f"op-{k}")], k * 1.5)
+                    for k in range(n)]
+        store = _stable_store(payloads)
+        applied = store.inject_fault(
+            "bit-rot", random.Random(seed), index=index)
+        assert applied["applied"]
+        valid = 0
+        for entry in store.read_entries("log"):
+            if not store.verify_entry(entry):
+                break
+            valid += 1
+        assert valid == index
+
 
 class TestAsyncFlusher:
     def test_flusher_periodically_syncs(self):
@@ -205,6 +367,14 @@ class TestAsyncFlusher:
         store.append("log", "x", 100)
         sim.run(until=1.0)
         assert store.read_log("log") == []
+
+    def test_non_positive_interval_rejected(self):
+        sim = Simulator()
+        store = StableStore(sim)
+        with pytest.raises(StorageError, match="interval"):
+            AsyncFlusher(store, interval=0.0)
+        with pytest.raises(StorageError, match="interval"):
+            AsyncFlusher(store, interval=-0.1)
 
     def test_start_is_idempotent(self):
         sim = Simulator()
